@@ -1,0 +1,150 @@
+(* obrew: command-line driver for exploring the system.
+
+   Subcommands:
+     stencil   run the paper's Jacobi case study in a chosen mode
+     fig6      show the flag-cache effect on a cmp+cmov kernel
+     modes     run all modes and print the comparison table
+     passes    show optimizer pass activity on the fixated kernel
+*)
+
+open Cmdliner
+open Obrew_core
+
+let sz_arg =
+  Arg.(value & opt int 49 & info [ "sz" ] ~docv:"N"
+         ~doc:"Matrix side length.")
+
+let iters_arg =
+  Arg.(value & opt int 6 & info [ "iters" ] ~docv:"N"
+         ~doc:"Jacobi iterations.")
+
+let kind_arg =
+  let cv =
+    Arg.enum [ ("direct", Modes.Direct); ("flat", Modes.Flat);
+               ("sorted", Modes.Sorted) ]
+  in
+  Arg.(value & opt cv Modes.Flat & info [ "kind" ] ~docv:"KIND"
+         ~doc:"Stencil representation: direct, flat or sorted.")
+
+let style_arg =
+  let cv = Arg.enum [ ("element", Modes.Element); ("line", Modes.Line) ] in
+  Arg.(value & opt cv Modes.Element & info [ "style" ] ~docv:"STYLE"
+         ~doc:"Kernel granularity: element or line.")
+
+let transform_arg =
+  let cv =
+    Arg.enum
+      [ ("native", Modes.Native); ("llvm", Modes.Llvm);
+        ("llvm-fix", Modes.LlvmFix); ("dbrew", Modes.DBrew);
+        ("dbrew-llvm", Modes.DBrewLlvm) ]
+  in
+  Arg.(value & opt cv Modes.DBrewLlvm & info [ "mode" ] ~docv:"MODE"
+         ~doc:"Transformation: native, llvm, llvm-fix, dbrew, dbrew-llvm.")
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Disassemble the kernel used.")
+
+let stencil_cmd =
+  let run sz iters kind style tr dump =
+    let env = Modes.build ~sz () in
+    (try
+       let kernel, dt = Modes.transform env kind style tr in
+       let cycles, insns = Modes.run env kind style ~kernel ~iters in
+       Printf.printf
+         "%s %s %s: %d cycles, %d instructions, transform %.3f ms\n"
+         (Modes.kind_name kind) (Modes.style_name style)
+         (Modes.transform_name tr) cycles insns (dt *. 1e3);
+       if dump then
+         print_endline
+           (Obrew_x86.Pp.listing
+              (Obrew_x86.Image.disassemble_fn env.Modes.img kernel))
+     with Modes.Transform_failed m ->
+       Printf.eprintf "transformation failed: %s\n" m;
+       exit 1);
+    ()
+  in
+  Cmd.v
+    (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
+    Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
+          $ transform_arg $ dump_arg)
+
+let modes_cmd =
+  let run sz iters style =
+    let env = Modes.build ~sz () in
+    Printf.printf "%-14s" "";
+    let transforms =
+      [ Modes.Native; Modes.Llvm; Modes.LlvmFix; Modes.DBrew;
+        Modes.DBrewLlvm ]
+    in
+    List.iter (fun t -> Printf.printf "%12s" (Modes.transform_name t))
+      transforms;
+    print_newline ();
+    List.iter
+      (fun (kind, kname) ->
+        Printf.printf "%-14s" kname;
+        List.iter
+          (fun t ->
+            try
+              let k, _ = Modes.transform env kind style t in
+              let cycles, _ = Modes.run env kind style ~kernel:k ~iters in
+              Printf.printf "%12.2f" (float_of_int cycles /. 1e6)
+            with Modes.Transform_failed _ -> Printf.printf "%12s" "n/a")
+          transforms;
+        print_newline ())
+      [ (Modes.Direct, "Direct"); (Modes.Flat, "Struct");
+        (Modes.Sorted, "SortedStruct") ]
+  in
+  Cmd.v
+    (Cmd.info "modes"
+       ~doc:"All five modes side by side (Fig. 9, in Mcycles).")
+    Term.(const run $ sz_arg $ iters_arg $ style_arg)
+
+let fig6_cmd =
+  let run () =
+    let open Obrew_x86 in
+    let open Insn in
+    let code =
+      [ I (Mov (W64, OReg Reg.RAX, OReg Reg.RDI));
+        I (Alu (Cmp, W64, OReg Reg.RDI, OReg Reg.RSI));
+        I (Cmov (L, W64, Reg.RAX, OReg Reg.RSI));
+        I Ret ]
+    in
+    List.iter
+      (fun flag_cache ->
+        let img = Image.create () in
+        let fn = Image.install_code img code in
+        let f =
+          Obrew_lifter.Lift.lift
+            ~config:{ Obrew_lifter.Lift.default_config with flag_cache }
+            ~read:(Mem.read_u8 img.Image.cpu.Cpu.mem)
+            ~entry:fn ~name:"max"
+            { Obrew_ir.Ins.args = [ I64; I64 ]; ret = Some I64 }
+        in
+        Obrew_opt.Pipeline.run { Obrew_ir.Ins.funcs = [ f ]; globals = [] };
+        Printf.printf "\n=== flag cache: %b ===\n%s" flag_cache
+          (Obrew_ir.Pp_ir.func f))
+      [ false; true ]
+  in
+  Cmd.v (Cmd.info "fig6" ~doc:"The flag cache effect (Fig. 6).")
+    Term.(const run $ const ())
+
+let passes_cmd =
+  let run sz =
+    let env = Modes.build ~sz () in
+    ignore (Modes.transform env Modes.Flat Modes.Element Modes.LlvmFix);
+    Printf.printf "pass activity while fixating the flat element kernel:\n";
+    List.iter
+      (fun (name, n) -> Printf.printf "  %-14s %4d\n" name n)
+      (List.sort compare
+         Obrew_opt.Pipeline.stats.Obrew_opt.Pipeline.pass_changes)
+  in
+  Cmd.v
+    (Cmd.info "passes" ~doc:"Optimizer pass activity (Sec. VIII outlook).")
+    Term.(const run $ sz_arg)
+
+let () =
+  let doc = "optimized lightweight binary re-writing at runtime" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "obrew" ~version:"1.0.0" ~doc)
+          [ stencil_cmd; modes_cmd; fig6_cmd; passes_cmd ]))

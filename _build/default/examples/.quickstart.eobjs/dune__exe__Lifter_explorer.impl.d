@@ -1,0 +1,1 @@
+examples/lifter_explorer.ml: Cpu Dce Image Ins Insn Int64 Jit Lift List Mem Obrew_backend Obrew_ir Obrew_lifter Obrew_opt Obrew_x86 Pipeline Pp Pp_ir Printf Reg String

@@ -1,0 +1,1 @@
+examples/lifter_explorer.mli:

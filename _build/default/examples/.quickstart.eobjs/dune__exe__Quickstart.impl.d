@@ -1,0 +1,1 @@
+examples/quickstart.ml: Api Image Insn Obrew_dbrew Obrew_x86 Pp Printf Reg

@@ -1,0 +1,1 @@
+examples/specialize_hotloop.ml: Array Cpu Float Image Int64 Mem Modes Obrew_backend Obrew_core Obrew_dbrew Obrew_ir Obrew_lifter Obrew_minic Obrew_opt Obrew_x86 Pp Printf

@@ -1,0 +1,1 @@
+examples/specialize_hotloop.mli:

@@ -1,0 +1,1 @@
+examples/stencil_demo.ml: Array Float List Modes Obrew_core Obrew_stencil Obrew_x86 Printf Sys

@@ -1,0 +1,1 @@
+lib/backend/isel.ml: Array Cfg Encode Hashtbl Ins Insn Int32 Int64 List Obrew_ir Obrew_opt Obrew_x86 Option Printf Reg Regalloc Verify

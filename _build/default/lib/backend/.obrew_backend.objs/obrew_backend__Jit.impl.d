@@ -1,0 +1,1 @@
+lib/backend/jit.ml: Cpu Image Ins Isel List Mem Obrew_ir Obrew_x86 String

@@ -1,0 +1,1 @@
+lib/backend/regalloc.ml: Cfg Hashtbl Ins List Obrew_ir Obrew_opt Obrew_x86 Option Reg

@@ -1,0 +1,30 @@
+(** JIT installation: place a module's globals and compiled functions
+    into the emulated image, resolving symbols (the LLVM-JIT role in
+    Fig. 1). *)
+
+open Obrew_x86
+open Obrew_ir
+open Ins
+
+(** Copy a global's initial bytes into fresh data memory. *)
+let install_global (img : Image.t) (g : global) : int =
+  let a = Image.alloc_data ~align:g.galign img (max 1 (String.length g.bytes)) in
+  Mem.write_bytes img.Image.cpu.Cpu.mem a g.bytes;
+  Image.define img g.gname a;
+  a
+
+(** Compile and install one function; returns its entry address.
+    Callees and globals must already be present in the symbol table. *)
+let install_func (img : Image.t) (f : func) : int =
+  let items =
+    Isel.emit_func ~global_addr:(Image.lookup img)
+      ~func_addr:(Image.lookup img) f
+  in
+  Image.install_code ~name:f.fname img items
+
+(** Install all globals, then all functions in order (callees must
+    precede callers in [m.funcs]). *)
+let install_module (img : Image.t) (m : modul) : (string * int) list =
+  let gaddrs = List.map (fun g -> (g.gname, install_global img g)) m.globals in
+  let faddrs = List.map (fun f -> (f.fname, install_func img f)) m.funcs in
+  gaddrs @ faddrs

@@ -1,0 +1,1 @@
+lib/core/modes.ml: Api Builder Cpu Image Ins Int64 Jit Lift List Mem Obrew_backend Obrew_dbrew Obrew_ir Obrew_lifter Obrew_minic Obrew_opt Obrew_stencil Obrew_x86 Pipeline Stencil Unix Verify

@@ -1,0 +1,1 @@
+lib/core/modes.mli: Image Obrew_ir Obrew_lifter Obrew_opt Obrew_stencil Obrew_x86

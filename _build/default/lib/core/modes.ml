@@ -1,0 +1,228 @@
+(** The five code-generation modes of the evaluation (Sec. VI):
+
+    - {b Native}: the mini-C compiler's -O3 output, as-is.
+    - {b Llvm}: the identity transformation — lift the native binary to
+      IR, run -O3, emit again (Fig. 1 without specialization).
+    - {b LlvmFix}: parameter fixation at IR level (Sec. IV): a wrapper
+      calls the lifted code with the stencil argument replaced by a
+      module-global constant copy; always-inline + -O3 do the rest.
+    - {b DBrew}: binary-level specialization with the stencil parameter
+      and its memory fixed.
+    - {b DBrewLlvm}: DBrew's output lifted, -O3'd and re-emitted
+      (DBrew with the LLVM code generation back-end). *)
+
+open Obrew_x86
+open Obrew_ir
+open Obrew_opt
+open Obrew_lifter
+open Obrew_backend
+open Obrew_dbrew
+open Obrew_stencil
+
+type kind = Direct | Flat | Sorted
+type style = Element | Line
+type transform = Native | Llvm | LlvmFix | DBrew | DBrewLlvm
+
+let kind_name = function
+  | Direct -> "direct" | Flat -> "flat" | Sorted -> "sorted"
+
+let style_name = function Element -> "element" | Line -> "line"
+
+let transform_name = function
+  | Native -> "Native" | Llvm -> "LLVM" | LlvmFix -> "LLVM-fix"
+  | DBrew -> "DBrew" | DBrewLlvm -> "DBrew+LLVM"
+
+type env = {
+  img : Image.t;
+  w : Stencil.workload;
+  modul : Ins.modul; (* the optimized native module *)
+}
+
+let kernel_name kind style =
+  (match style with Element -> "apply_" | Line -> "line_") ^ kind_name kind
+
+let kernel_sig (style : style) : Ins.signature =
+  match style with
+  | Element -> { args = [ Ptr 0; Ptr 0; Ptr 0; I64 ]; ret = None }
+  | Line -> { args = [ Ptr 0; Ptr 0; Ptr 0; I64; I64 ]; ret = None }
+
+(** Compile the benchmark program "statically" and install it.  The
+    direct line kernel is auto-vectorized (as GCC does, Sec. VI-B);
+    the generic kernels are not (their inner loops are data
+    dependent). *)
+let build ?(sz = 65) ?groups () : env =
+  let img = Image.create () in
+  let w = Stencil.setup ~sz ?groups img in
+  let m = Obrew_minic.Lower.lower (Stencil.program ~sz) in
+  List.iter
+    (fun (f : Ins.func) ->
+      let opts =
+        if f.fname = "line_direct" then
+          { Pipeline.o3 with force_vector_width = Some 2 }
+        else Pipeline.o3
+      in
+      Pipeline.run_func ~opts m f;
+      Verify.assert_ok ~ctx:("native compile of " ^ f.fname) f)
+    m.funcs;
+  ignore (Jit.install_module img m);
+  { img; w; modul = m }
+
+let stencil_arg env = function
+  | Direct | Flat -> env.w.s_flat
+  | Sorted -> env.w.s_sorted
+
+let stencil_range env = function
+  | Direct | Flat -> (env.w.s_flat, env.w.s_flat + env.w.s_flat_len)
+  | Sorted -> (env.w.s_sorted, env.w.s_sorted + env.w.s_sorted_len)
+
+let native_addr env kind style = Image.lookup env.img (kernel_name kind style)
+
+exception Transform_failed of string
+
+(* lift the binary code at [entry] into a one-function module *)
+let lift_entry env ~name ~config entry sg =
+  let read = Mem.read_u8 env.img.Image.cpu.Cpu.mem in
+  try Lift.lift ~config ~read ~entry ~name sg
+  with Lift.Lift_error m -> raise (Transform_failed m)
+
+let o3_opts = { Pipeline.o3 with fast_math = true }
+
+(** Apply [t] to the kernel [(kind, style)].  Returns the address of
+    the drop-in replacement and the transformation (compile) time in
+    seconds — the quantity of Fig. 10. *)
+let transform ?(lift_config = Lift.default_config)
+    ?(opt = o3_opts) (env : env) (kind : kind) (style : style)
+    (t : transform) : int * float =
+  let sg = kernel_sig style in
+  let orig = native_addr env kind style in
+  let t0 = Unix.gettimeofday () in
+  let addr =
+    match t with
+    | Native -> orig
+    | Llvm ->
+      let f = lift_entry env ~name:"jit" ~config:lift_config orig sg in
+      let m = { Ins.funcs = [ f ]; globals = [] } in
+      Pipeline.run ~opts:opt m;
+      Verify.assert_ok ~ctx:"llvm identity" f;
+      Jit.install_func env.img f
+    | LlvmFix ->
+      (* Sec. IV: copy the fixed memory region into the module as a
+         global constant; wrap the always-inline lifted function *)
+      let f = lift_entry env ~name:"lifted" ~config:lift_config orig sg in
+      f.always_inline <- true;
+      let lo, hi = stencil_range env kind in
+      let bytes = Mem.read_bytes env.img.Image.cpu.Cpu.mem lo (hi - lo) in
+      let g =
+        { Ins.gname = "fixmem"; bytes; galign = 16; constant = true }
+      in
+      let b = Builder.create ~name:"jit" ~sg in
+      let params = (Builder.func b).params in
+      let args =
+        Ins.Global "fixmem"
+        :: List.tl (List.map (fun id -> Ins.V id) params)
+      in
+      ignore (Builder.call b "lifted" sg args);
+      Builder.ret b None;
+      let wrapper = Builder.func b in
+      let m = { Ins.funcs = [ f; wrapper ]; globals = [ g ] } in
+      Pipeline.run ~opts:opt m;
+      Verify.assert_ok ~ctx:"llvm fixation" wrapper;
+      ignore (Jit.install_global env.img g);
+      (* the callee is normally fully inlined, but lower optimization
+         levels may keep the call *)
+      ignore (Jit.install_func env.img f);
+      Jit.install_func env.img wrapper
+    | DBrew -> (
+      let r = Api.dbrew_new env.img orig in
+      Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
+      let lo, hi = stencil_range env kind in
+      Api.dbrew_set_mem r lo hi;
+      let a = Api.dbrew_rewrite r in
+      match r.Api.last_error with
+      | Some m -> raise (Transform_failed ("dbrew: " ^ m))
+      | None -> a)
+    | DBrewLlvm -> (
+      let r = Api.dbrew_new env.img orig in
+      Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
+      let lo, hi = stencil_range env kind in
+      Api.dbrew_set_mem r lo hi;
+      let a = Api.dbrew_rewrite r in
+      match r.Api.last_error with
+      | Some m -> raise (Transform_failed ("dbrew: " ^ m))
+      | None ->
+        let f = lift_entry env ~name:"jit" ~config:lift_config a sg in
+        let m = { Ins.funcs = [ f ]; globals = [] } in
+        Pipeline.run ~opts:opt m;
+        Verify.assert_ok ~ctx:"dbrew+llvm" f;
+        Jit.install_func env.img f)
+  in
+  (addr, Unix.gettimeofday () -. t0)
+
+(** Restore the matrices to the initial Jacobi state. *)
+let reset env =
+  let sz = env.w.sz in
+  let mem = env.img.Image.cpu.Cpu.mem in
+  for r = 0 to sz - 1 do
+    for c = 0 to sz - 1 do
+      let v =
+        if r = 0 then float_of_int c /. float_of_int (sz - 1)
+        else if c = 0 then float_of_int r /. float_of_int (sz - 1)
+        else if r = sz - 1 then 1.0 -. (float_of_int c /. float_of_int (sz - 1))
+        else if c = sz - 1 then 1.0 -. (float_of_int r /. float_of_int (sz - 1))
+        else 0.0
+      in
+      Mem.write_f64 mem (env.w.m1 + (8 * ((r * sz) + c))) v;
+      Mem.write_f64 mem (env.w.m2 + (8 * ((r * sz) + c))) v
+    done
+  done
+
+(** Run the Jacobi driver with the given kernel; returns (cycles,
+    instructions) consumed by the emulated computation. *)
+let run_jacobi env (style : style) ~kernel ~iters : int * int =
+  reset env;
+  Image.reset_stack env.img;
+  let driver =
+    Image.lookup env.img
+      (match style with
+       | Element -> "jacobi_element"
+       | Line -> "jacobi_line")
+  in
+  let stencil = Int64.of_int env.w.s_flat in
+  (* the stencil argument is ignored by specialized kernels and direct
+     kernels; generic kernels re-read it, so pass the matching one *)
+  let (), cycles, insns =
+    Image.measure env.img (fun () ->
+        ignore
+          (Image.call env.img ~fn:driver
+             ~args:
+               [ stencil; Int64.of_int env.w.m1; Int64.of_int env.w.m2;
+                 Int64.of_int iters; Int64.of_int kernel ]))
+  in
+  (cycles, insns)
+
+(** As {!run_jacobi} but with the correct stencil pointer per kind
+    (generic unspecialized kernels dereference it). *)
+let run env (kind : kind) (style : style) ~kernel ~iters : int * int =
+  reset env;
+  Image.reset_stack env.img;
+  let driver =
+    Image.lookup env.img
+      (match style with
+       | Element -> "jacobi_element"
+       | Line -> "jacobi_line")
+  in
+  let (), cycles, insns =
+    Image.measure env.img (fun () ->
+        ignore
+          (Image.call env.img ~fn:driver
+             ~args:
+               [ Int64.of_int (stencil_arg env kind);
+                 Int64.of_int env.w.m1; Int64.of_int env.w.m2;
+                 Int64.of_int iters; Int64.of_int kernel ]))
+  in
+  (cycles, insns)
+
+(** The matrix holding the final result after [iters] iterations. *)
+let result_matrix env ~iters =
+  if iters mod 2 = 0 then Stencil.read_matrix env.w env.w.m1
+  else Stencil.read_matrix env.w env.w.m2

@@ -1,0 +1,80 @@
+(** The five code-generation modes of the paper's evaluation (Sec. VI)
+    behind one API, plus the cycle-accounted Jacobi driver.
+
+    {[
+      let env = Modes.build ~sz:65 () in
+      let kernel, seconds = Modes.transform env Flat Element DBrewLlvm in
+      let cycles, insns = Modes.run env Flat Element ~kernel ~iters:50 in
+    ]} *)
+
+open Obrew_x86
+
+type kind = Direct | Flat | Sorted
+(** Stencil representation: hard-coded, Fig. 7 flat struct, or the
+    pointer-linked sorted struct. *)
+
+type style = Element | Line
+(** Kernel granularity (Sec. V): one matrix cell per call, or one
+    matrix row per call. *)
+
+type transform = Native | Llvm | LlvmFix | DBrew | DBrewLlvm
+(** The five modes of Fig. 9. *)
+
+val kind_name : kind -> string
+val style_name : style -> string
+val transform_name : transform -> string
+
+type env = {
+  img : Image.t;
+  w : Obrew_stencil.Stencil.workload;
+  modul : Obrew_ir.Ins.modul;
+}
+
+(** Compile the benchmark program with the "static compiler" (minic at
+    -O3, direct line kernel auto-vectorized as GCC does) and install it
+    into a fresh image with an [sz]×[sz] Jacobi workload. *)
+val build :
+  ?sz:int ->
+  ?groups:(float * (int * int) list) list ->
+  unit -> env
+
+(** Kernel signature per style ([(stencil, m1, m2, index[, rowbase,
+    n])], all void). *)
+val kernel_sig : style -> Obrew_ir.Ins.signature
+
+(** Address of the natively compiled kernel. *)
+val native_addr : env -> kind -> style -> int
+
+(** Stencil structure address / fixed-memory range for a kind. *)
+val stencil_arg : env -> kind -> int
+val stencil_range : env -> kind -> int * int
+
+exception Transform_failed of string
+
+(** Default optimization options for the JIT modes (-O3, fast-math,
+    no forced vectorization — Sec. VI). *)
+val o3_opts : Obrew_opt.Pipeline.options
+
+(** [transform env kind style t] produces a drop-in replacement kernel
+    using mode [t]; returns its address and the transformation time in
+    seconds (the Fig. 10 quantity).  [lift_config]/[opt] expose the
+    ablation knobs.
+    @raise Transform_failed when the mode cannot handle the kernel. *)
+val transform :
+  ?lift_config:Obrew_lifter.Lift.config ->
+  ?opt:Obrew_opt.Pipeline.options ->
+  env -> kind -> style -> transform -> int * float
+
+(** Reset the matrices to the initial boundary-value state. *)
+val reset : env -> unit
+
+(** Run the Jacobi driver with kernel address [kernel]; returns
+    (simulated cycles, executed instructions).  The driver-loop
+    overhead is included in the measurement, as in Sec. VI. *)
+val run : env -> kind -> style -> kernel:int -> iters:int -> int * int
+
+(** As {!run} but always passing the flat stencil pointer. *)
+val run_jacobi : env -> style -> kernel:int -> iters:int -> int * int
+
+(** The matrix holding the result after [iters] iterations. *)
+val result_matrix : env -> iters:int -> float array

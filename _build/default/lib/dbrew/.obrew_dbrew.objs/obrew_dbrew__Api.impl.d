@@ -1,0 +1,1 @@
+lib/dbrew/api.ml: Cpu Image Insn List Obrew_x86 Rewriter

@@ -1,0 +1,1 @@
+lib/dbrew/api.mli: Image Insn Obrew_x86 Rewriter

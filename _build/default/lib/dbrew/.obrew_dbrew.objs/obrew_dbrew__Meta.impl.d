@@ -1,0 +1,1 @@
+lib/dbrew/meta.ml: Array Hashtbl Insn List Obrew_x86 Option Reg

@@ -1,0 +1,1 @@
+lib/dbrew/rewriter.ml: Array Cpu Decode Encode Hashtbl Insn Int64 List Mem Meta Obrew_x86 Option Pp Printf Queue Reg

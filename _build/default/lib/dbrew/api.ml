@@ -1,0 +1,65 @@
+(** The DBrew user API, mirroring Fig. 2/3 of the paper:
+
+    {[
+      let r = Api.dbrew_new img func in
+      Api.dbrew_set_par r 1 42L;
+      Api.dbrew_set_mem r start stop;
+      let newfunc = Api.dbrew_rewrite r in
+      (* call newfunc instead of func *)
+    ]}
+
+    Rewriting may fail on unsupported constructs; the default error
+    handler simply returns the original function, ensuring correctness
+    (Sec. II).  A custom handler can be installed instead. *)
+
+open Obrew_x86
+
+type t = {
+  img : Image.t;
+  entry : int;
+  cfg : Rewriter.config;
+  mutable error_handler : (string -> int) option;
+  mutable last_error : string option;
+  mutable emitted_items : Insn.item list; (* for inspection/dumps *)
+}
+
+(** Create a rewriter for the function at [entry]. *)
+let dbrew_new (img : Image.t) (entry : int) : t =
+  { img; entry; cfg = Rewriter.default_config (); error_handler = None;
+    last_error = None; emitted_items = [] }
+
+(** Fix parameter [i] (0-based) to [v] — Fig. 3 [dbrew_setpar]. *)
+let dbrew_set_par r i v =
+  r.cfg.Rewriter.params <- (i, v) :: List.remove_assoc i r.cfg.Rewriter.params
+
+(** Declare [lo, hi) as fixed memory — Fig. 3 [dbrew_setmem]: values
+    read from this range are assumed constant and folded. *)
+let dbrew_set_mem r lo hi =
+  r.cfg.Rewriter.mem_ranges <- (lo, hi) :: r.cfg.Rewriter.mem_ranges
+
+(** Bound for call inlining depth. *)
+let dbrew_set_inline_depth r d = r.cfg.Rewriter.inline_depth <- d
+
+(** Custom error handler: receives the failure message, returns the
+    function address to use instead. *)
+let dbrew_set_error_handler r h = r.error_handler <- Some h
+
+(** Rewrite; returns the new function's address (a drop-in replacement
+    with the same signature).  On failure the error handler decides;
+    the default returns the original function. *)
+let dbrew_rewrite (r : t) : int =
+  match
+    Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem ~entry:r.entry
+  with
+  | items ->
+    r.emitted_items <- items;
+    Image.install_code r.img items
+  | exception Rewriter.Rewrite_failed msg -> (
+    r.last_error <- Some msg;
+    match r.error_handler with
+    | Some h -> h msg
+    | None -> r.entry (* default: fall back to the original *))
+
+(** The rewritten code of the last successful {!dbrew_rewrite}, for
+    dumps (Fig. 8). *)
+let dbrew_last_code r = r.emitted_items

@@ -1,0 +1,55 @@
+(** The DBrew user API, mirroring Fig. 2/3 of the paper.
+
+    Typical use:
+    {[
+      let r = Api.dbrew_new img func in
+      Api.dbrew_set_par r 1 42L;          (* parameter 1 is always 42 *)
+      Api.dbrew_set_mem r lo hi;          (* [lo,hi) holds fixed data *)
+      let newfunc = Api.dbrew_rewrite r in
+      (* call newfunc instead of func: same signature, specialized *)
+    ]}
+
+    Rewriting may fail on constructs the rewriter does not cover
+    (indirect jumps, unsupported instructions, variant explosion); the
+    default error handler then returns the original function so the
+    program stays correct (Sec. II). *)
+
+open Obrew_x86
+
+type t = {
+  img : Image.t;
+  entry : int;
+  cfg : Rewriter.config;
+  mutable error_handler : (string -> int) option;
+  mutable last_error : string option;
+  mutable emitted_items : Insn.item list;
+}
+
+(** [dbrew_new img entry] creates a rewriter for the function at
+    address [entry] in [img]. *)
+val dbrew_new : Image.t -> int -> t
+
+(** [dbrew_set_par r i v] fixes the [i]-th (0-based, System V integer
+    order) parameter to [v] — Fig. 3's [dbrew_setpar]. *)
+val dbrew_set_par : t -> int -> int64 -> unit
+
+(** [dbrew_set_mem r lo hi] declares the address range [lo, hi) as
+    fixed: values loaded from it are assumed constant and folded into
+    the generated code — Fig. 3's [dbrew_setmem]. *)
+val dbrew_set_mem : t -> int -> int -> unit
+
+(** Maximum call-inlining depth (default 4; 0 keeps calls). *)
+val dbrew_set_inline_depth : t -> int -> unit
+
+(** Install a custom error handler: it receives the failure message and
+    returns the function address to use instead. *)
+val dbrew_set_error_handler : t -> (string -> int) -> unit
+
+(** Rewrite and install; returns the new function's address (a drop-in
+    replacement with the same signature).  On failure the error handler
+    decides; the default returns the original entry. *)
+val dbrew_rewrite : t -> int
+
+(** Assembly items of the last successful rewrite (for Fig. 8-style
+    dumps). *)
+val dbrew_last_code : t -> Insn.item list

@@ -1,0 +1,170 @@
+(** Meta-state for DBrew's specializing emulation: which registers,
+    flags and stack slots hold compile-time-known values. *)
+
+open Obrew_x86
+open Insn
+
+(** Value lattice for a register.  [RspOff c] is the symbolic value
+    "entry rsp + c" used to track the frame. *)
+type mval =
+  | Known of int64
+  | RspOff of int
+  | Unknown
+
+type mflag = FK of bool | FU
+
+type t = {
+  regs : mval array;      (* 16 GPRs *)
+  mat : bool array;       (* is the known value materialized in the
+                             emitted code's register? *)
+  flags : mflag array;    (* zf sf cf of pf af *)
+  mutable slots : (int * mval) list; (* stack frame: offset -> value *)
+  mutable cmp_w : width option; (* for sanity only *)
+}
+
+let zf = 0
+let sf = 1
+let cf = 2
+let of_ = 3
+let pf = 4
+let af = 5
+
+let create () =
+  let s =
+    { regs = Array.make 16 Unknown; mat = Array.make 16 true;
+      flags = Array.make 6 FU; slots = []; cmp_w = None }
+  in
+  s.regs.(Reg.index Reg.RSP) <- RspOff 0;
+  s
+
+let copy s =
+  { regs = Array.copy s.regs; mat = Array.copy s.mat;
+    flags = Array.copy s.flags; slots = s.slots; cmp_w = s.cmp_w }
+
+let get s r = s.regs.(Reg.index r)
+
+let set s r v =
+  s.regs.(Reg.index r) <- v;
+  s.mat.(Reg.index r) <- (match v with Unknown -> true | _ -> false)
+
+let set_materialized s r =
+  s.mat.(Reg.index r) <- true
+
+let forget_flags s = Array.fill s.flags 0 6 FU
+
+let slot_get s off =
+  match List.assoc_opt off s.slots with
+  | Some v -> v
+  | None -> Unknown
+
+let slot_set s off v = s.slots <- (off, v) :: List.remove_assoc off s.slots
+
+(* digest for trace-point deduplication; slots sorted for stability *)
+let digest s (pc : int) : int =
+  let slots = List.sort compare s.slots in
+  Hashtbl.hash (pc, Array.to_list s.regs, Array.to_list s.flags, slots)
+
+let equal_at (a : t) (b : t) =
+  a.regs = b.regs && a.flags = b.flags
+  && List.sort compare a.slots = List.sort compare b.slots
+
+(* condition evaluation over known flags *)
+let cond s (c : cc) : bool option =
+  let f i = match s.flags.(i) with FK b -> Some b | FU -> None in
+  let ( &&* ) a b =
+    match a, b with Some x, Some y -> Some (x && y) | _ -> None
+  in
+  let ( ||* ) a b =
+    match a, b with Some x, Some y -> Some (x || y) | _ -> None
+  in
+  let notp = Option.map not in
+  match c with
+  | E -> f zf
+  | NE -> notp (f zf)
+  | B -> f cf
+  | AE -> notp (f cf)
+  | BE -> f cf ||* f zf
+  | A -> notp (f cf ||* f zf)
+  | S -> f sf
+  | NS -> notp (f sf)
+  | P -> f pf
+  | NP -> notp (f pf)
+  | O -> f of_
+  | NO -> notp (f of_)
+  | L -> Option.map (fun (a, b) -> a <> b)
+           (match f sf, f of_ with
+            | Some a, Some b -> Some (a, b)
+            | _ -> None)
+  | GE -> Option.map (fun (a, b) -> a = b)
+            (match f sf, f of_ with
+             | Some a, Some b -> Some (a, b)
+             | _ -> None)
+  | LE ->
+    (f zf ||* (match f sf, f of_ with
+               | Some a, Some b -> Some (a <> b)
+               | _ -> None))
+  | G ->
+    (notp (f zf) &&* (match f sf, f of_ with
+                      | Some a, Some b -> Some (a = b)
+                      | _ -> None))
+
+(* ------------------------------------------------------------------ *)
+(* State compatibility and widening (bounded variant generation)       *)
+(* ------------------------------------------------------------------ *)
+
+(** Can a trace with state [s] jump into code emitted under state
+    [target]?  Returns the registers that must be materialized first
+    (the target code reads their real values), or [None] when the
+    states are incompatible. *)
+let compatible ~(target : t) (s : t) : Reg.gpr list option =
+  let ok = ref true in
+  let mats = ref [] in
+  for i = 0 to 15 do
+    (match target.regs.(i), s.regs.(i) with
+     | Known tv, Known sv when tv = sv ->
+       (* the target may rely on the real register *)
+       if target.mat.(i) && not s.mat.(i) then
+         mats := Reg.of_index i :: !mats
+     | RspOff tc, RspOff sc when tc = sc ->
+       if target.mat.(i) && not s.mat.(i) then
+         mats := Reg.of_index i :: !mats
+     | Unknown, Unknown -> ()
+     | Unknown, (Known _ | RspOff _) ->
+       (* target reads the real register *)
+       if not s.mat.(i) then mats := Reg.of_index i :: !mats
+     | _ -> ok := false)
+  done;
+  for i = 0 to 5 do
+    (match target.flags.(i), s.flags.(i) with
+     | FK tb, FK sb when tb = sb -> ()
+     | FU, _ -> ()
+     | _ -> ok := false)
+  done;
+  (* slots: every slot the target believes known must match *)
+  List.iter
+    (fun (off, tv) ->
+      match tv with
+      | Unknown -> ()
+      | tv -> if slot_get s off <> tv then ok := false)
+    target.slots;
+  if !ok then Some !mats else None
+
+(** Pointwise join (widening): differing components become unknown. *)
+let join (a : t) (b : t) : t =
+  let r = copy a in
+  for i = 0 to 15 do
+    (match a.regs.(i), b.regs.(i) with
+     | x, y when x = y ->
+       r.mat.(i) <- a.mat.(i) && b.mat.(i)
+     | _ ->
+       r.regs.(i) <- Unknown;
+       r.mat.(i) <- true)
+  done;
+  for i = 0 to 5 do
+    if a.flags.(i) <> b.flags.(i) then r.flags.(i) <- FU
+  done;
+  r.slots <-
+    List.filter_map
+      (fun (off, v) -> if slot_get b off = v then Some (off, v) else None)
+      a.slots;
+  r

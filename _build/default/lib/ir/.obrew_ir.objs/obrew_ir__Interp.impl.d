@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Bytes Float Hashtbl Ins Int32 Int64 List Mem Obrew_x86 Printf

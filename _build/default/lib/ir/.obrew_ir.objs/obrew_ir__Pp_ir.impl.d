@@ -1,0 +1,1 @@
+lib/ir/pp_ir.ml: Array Buffer Ins Int64 List Printf String

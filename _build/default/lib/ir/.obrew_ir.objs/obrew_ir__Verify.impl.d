@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Cfg Dom Hashtbl Ins List Pp_ir Printf String

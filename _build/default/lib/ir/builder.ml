@@ -1,0 +1,91 @@
+(** Imperative construction of IR functions. *)
+
+open Ins
+
+type t = {
+  func : func;
+  mutable cur : block option;
+}
+
+(** Create a function with fresh parameter value ids 0..n-1 and an
+    empty entry block (bid 0), positioned at the entry. *)
+let create ~name ~(sg : signature) : t =
+  let params = List.mapi (fun i _ -> i) sg.args in
+  let entry = { bid = 0; instrs = []; term = Unreachable } in
+  let f =
+    { fname = name; sg; params; blocks = [ entry ];
+      next_id = List.length sg.args; always_inline = false }
+  in
+  { func = f; cur = Some entry }
+
+let func b = b.func
+
+let fresh_id b =
+  let id = b.func.next_id in
+  b.func.next_id <- id + 1;
+  id
+
+(** Allocate a new empty block; does not change the insertion point. *)
+let new_block b : int =
+  let bid =
+    1 + List.fold_left (fun m bl -> max m bl.bid) 0 b.func.blocks
+  in
+  b.func.blocks <- b.func.blocks @ [ { bid; instrs = []; term = Unreachable } ];
+  bid
+
+let position b bid = b.cur <- Some (find_block b.func bid)
+
+let current_bid b =
+  match b.cur with
+  | Some bl -> bl.bid
+  | None -> invalid_arg "Builder: no current block"
+
+let insert b ~ty op : value =
+  match b.cur with
+  | None -> invalid_arg "Builder: no current block"
+  | Some bl ->
+    let id = fresh_id b in
+    bl.instrs <- bl.instrs @ [ { id; ty; op } ];
+    V id
+
+(** Insert a phi at the *front* of the given block (phis must precede
+    ordinary instructions). *)
+let insert_phi b bid ~ty incoming : value =
+  let bl = find_block b.func bid in
+  let id = fresh_id b in
+  bl.instrs <- { id; ty = Some ty; op = Phi (ty, incoming) } :: bl.instrs;
+  V id
+
+let set_term b term =
+  match b.cur with
+  | None -> invalid_arg "Builder: no current block"
+  | Some bl -> bl.term <- term
+
+(* convenience wrappers *)
+
+let bin b op ty x y = insert b ~ty:(Some ty) (Bin (op, ty, x, y))
+let fbin b op ty x y = insert b ~ty:(Some ty) (FBin (op, ty, x, y))
+let icmp b p ty x y = insert b ~ty:(Some I1) (Icmp (p, ty, x, y))
+let fcmp b p ty x y = insert b ~ty:(Some I1) (Fcmp (p, ty, x, y))
+let select b ty c x y = insert b ~ty:(Some ty) (Select (ty, c, x, y))
+let cast b k ~src_ty v ~dst_ty =
+  insert b ~ty:(Some dst_ty) (Cast (k, src_ty, v, dst_ty))
+let load b ty ?(align = 1) p = insert b ~ty:(Some ty) (Load (ty, p, align))
+let store b ty ?(align = 1) v p =
+  ignore (insert b ~ty:None (Store (ty, v, p, align)))
+let gep b base elts = insert b ~ty:(Some (Ptr 0)) (Gep (base, elts))
+let call b name sg args =
+  insert b ~ty:sg.ret (CallDirect (name, sg, args))
+let call_ptr b f sg args = insert b ~ty:sg.ret (CallPtr (f, sg, args))
+let alloca b size align = insert b ~ty:(Some (Ptr 0)) (Alloca (size, align))
+let extractelt b vty v lane =
+  let lane_ty = match vty with Vec (_, t) -> t | _ -> invalid_arg "extractelt" in
+  insert b ~ty:(Some lane_ty) (ExtractElt (vty, v, lane))
+let insertelt b vty v s lane =
+  insert b ~ty:(Some vty) (InsertElt (vty, v, s, lane))
+let shuffle b rty a bb mask = insert b ~ty:(Some rty) (Shuffle (rty, a, bb, mask))
+let intr b i ~ty args = insert b ~ty:(Some ty) (Intr (i, args))
+
+let ret b v = set_term b (Ret v)
+let br b bid = set_term b (Br bid)
+let condbr b c t e = set_term b (CondBr (c, t, e))

@@ -1,0 +1,67 @@
+(** Control-flow graph utilities: predecessor maps, reverse postorder,
+    reachability. *)
+
+open Ins
+
+(** Map from block id to its predecessors' ids (in deterministic
+    order), considering only reachable blocks. *)
+let predecessors (f : func) : (int, int list) Hashtbl.t
+    =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace preds b.bid []) f.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (cur @ [ b.bid ]))
+        (successors b.term))
+    f.blocks;
+  preds
+
+(** Blocks reachable from the entry. *)
+let reachable (f : func) : (int, unit) Hashtbl.t =
+  let seen = Hashtbl.create 16 in
+  let rec go bid =
+    if not (Hashtbl.mem seen bid) then begin
+      Hashtbl.replace seen bid ();
+      List.iter go (successors (find_block f bid).term)
+    end
+  in
+  (match f.blocks with b :: _ -> go b.bid | [] -> ());
+  seen
+
+(** Reverse postorder of reachable blocks, entry first. *)
+let rpo (f : func) : int list =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go bid =
+    if not (Hashtbl.mem seen bid) then begin
+      Hashtbl.replace seen bid ();
+      List.iter go (successors (find_block f bid).term);
+      order := bid :: !order
+    end
+  in
+  (match f.blocks with b :: _ -> go b.bid | [] -> ());
+  !order
+
+(** Drop unreachable blocks and prune phi inputs from removed or
+    non-predecessor blocks. *)
+let prune_unreachable (f : func) =
+  let live = reachable f in
+  f.blocks <- List.filter (fun b -> Hashtbl.mem live b.bid) f.blocks;
+  let preds = predecessors f in
+  List.iter
+    (fun b ->
+      let ps = try Hashtbl.find preds b.bid with Not_found -> [] in
+      b.instrs <-
+        List.map
+          (fun i ->
+            match i.op with
+            | Phi (t, ins) ->
+              { i with
+                op = Phi (t, List.filter (fun (p, _) -> List.mem p ps) ins)
+              }
+            | _ -> i)
+          b.instrs)
+    f.blocks

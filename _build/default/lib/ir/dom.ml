@@ -1,0 +1,64 @@
+(** Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm. *)
+
+open Ins
+
+type t = {
+  idom : (int, int) Hashtbl.t; (* immediate dominator; entry maps to itself *)
+  order : (int, int) Hashtbl.t; (* RPO index *)
+  entry : int;
+}
+
+let compute (f : func) : t =
+  let order_list = Cfg.rpo f in
+  let entry = List.hd order_list in
+  let order = Hashtbl.create 16 in
+  List.iteri (fun i b -> Hashtbl.replace order b i) order_list;
+  let preds = Cfg.predecessors f in
+  let idom = Hashtbl.create 16 in
+  Hashtbl.replace idom entry entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while Hashtbl.find order !a > Hashtbl.find order !b do
+        a := Hashtbl.find idom !a
+      done;
+      while Hashtbl.find order !b > Hashtbl.find order !a do
+        b := Hashtbl.find idom !b
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> entry then begin
+          let ps =
+            List.filter
+              (fun p -> Hashtbl.mem order p && Hashtbl.mem idom p)
+              (try Hashtbl.find preds b with Not_found -> [])
+          in
+          match ps with
+          | [] -> ()
+          | first :: rest ->
+            let nd = List.fold_left intersect first rest in
+            if Hashtbl.find_opt idom b <> Some nd then begin
+              Hashtbl.replace idom b nd;
+              changed := true
+            end
+        end)
+      order_list
+  done;
+  { idom; order; entry }
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+let dominates t a b =
+  let rec up x =
+    if x = a then true
+    else if x = t.entry then false
+    else up (Hashtbl.find t.idom x)
+  in
+  a = b || up b
+
+let idom t b = if b = t.entry then None else Hashtbl.find_opt t.idom b

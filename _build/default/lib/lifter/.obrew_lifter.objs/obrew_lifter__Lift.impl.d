@@ -1,0 +1,1 @@
+lib/lifter/lift.ml: Array Builder Decode Hashtbl Ins Insn Int64 List Obrew_ir Obrew_x86 Option Printf Queue Reg

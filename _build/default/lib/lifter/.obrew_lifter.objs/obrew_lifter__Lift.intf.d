@@ -1,0 +1,1 @@
+lib/lifter/lift.mli: Obrew_ir

@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Builder Hashtbl Ins List Obrew_ir Option Printf Verify

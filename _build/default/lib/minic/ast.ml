@@ -1,0 +1,61 @@
+(** A small C-like language, sufficient for the paper's generic stencil
+    code (Fig. 7) and the Jacobi drivers.  It plays the role of the C
+    compiler producing the binary code that DBrew and the lifter
+    consume. *)
+
+type ty = TInt | TDouble | TPtr
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type expr =
+  | Int of int64
+  | Flt of float
+  | Param of int             (* 0-based function parameter *)
+  | Var of string            (* local variable *)
+  | Bin of bin * expr * expr
+  | FBin of fbin * expr * expr
+  | Cmp of cmp * expr * expr (* int compare, yields 0/1 *)
+  | FCmp of cmp * expr * expr
+  | PtrAdd of expr * expr * int (* base + index * scale(bytes) *)
+  | LoadI64 of expr
+  | LoadI32 of expr          (* sign-extended, C "int" *)
+  | LoadF64 of expr
+  | FloatOfInt of expr
+  | Call of string * expr list
+  | CallPtr of expr * ty list * ty option * expr list
+    (* indirect call through a function-pointer value *)
+
+and bin = Add | Sub | Mul | Div | Rem | Shl | Shr | And | Or | Xor
+and fbin = FAdd | FSub | FMul | FDiv
+
+type stmt =
+  | Decl of string * expr           (* declare + initialize a local *)
+  | Assign of string * expr
+  | StoreI64 of expr * expr         (* address, value *)
+  | StoreI32 of expr * expr
+  | StoreF64 of expr * expr
+  | If of expr * stmt list * stmt list (* nonzero = true *)
+  | While of expr * stmt list
+  | For of string * expr * expr * expr * stmt list
+    (* For (i, init, cond, step-expr assigned to i, body) *)
+  | Expr of expr                    (* evaluate for side effects *)
+  | Return of expr option
+
+type fn = {
+  name : string;
+  params : ty list;
+  ret : ty option;
+  body : stmt list;
+}
+
+type prog = fn list
+
+(* tiny conveniences for writing kernels *)
+let ( +! ) a b = Bin (Add, a, b)
+let ( -! ) a b = Bin (Sub, a, b)
+let ( *! ) a b = Bin (Mul, a, b)
+let ( +. ) a b = FBin (FAdd, a, b)
+let ( *. ) a b = FBin (FMul, a, b)
+let ( <! ) a b = Cmp (Clt, a, b)
+let i n = Int (Int64.of_int n)
+let v name = Var name

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Hashtbl Ins List Obrew_ir Queue Util

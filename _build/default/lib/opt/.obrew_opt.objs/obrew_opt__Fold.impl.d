@@ -1,0 +1,1 @@
+lib/opt/fold.ml: Array Float Ins Int64 Interp List Obrew_ir

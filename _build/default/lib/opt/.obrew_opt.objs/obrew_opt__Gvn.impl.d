@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Cfg Dom Hashtbl Ins List Obrew_ir Option Util

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Hashtbl Ins List Obrew_ir Option Pp_ir Util

@@ -1,0 +1,1 @@
+lib/opt/instcombine.ml: Array Bytes Fold Hashtbl Ins Int64 Interp List Obrew_ir String Util

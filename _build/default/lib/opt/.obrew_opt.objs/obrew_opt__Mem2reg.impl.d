@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Cfg Dom Hashtbl Ins Int64 List Obrew_ir Option Queue Util

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Dce Gvn Inline Ins Instcombine Licm List Mem2reg Obrew_ir Simplify_cfg Unroll Vectorize Verify

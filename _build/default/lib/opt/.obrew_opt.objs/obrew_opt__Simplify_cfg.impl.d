@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Cfg Hashtbl Ins List Obrew_ir Util

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Cfg Dce Dom Hashtbl Ins Instcombine Int64 Interp List Obrew_ir Option Simplify_cfg Util

@@ -1,0 +1,1 @@
+lib/opt/util.ml: Hashtbl Ins List Obrew_ir Option Verify

@@ -1,0 +1,1 @@
+lib/opt/vectorize.ml: Cfg Hashtbl Ins List Obrew_ir Option Util

@@ -1,0 +1,50 @@
+(** Dead code elimination: removes instructions whose results are
+    unused and that have no side effects (mark & sweep from
+    side-effecting roots and terminators). *)
+
+open Obrew_ir
+open Ins
+
+let run (f : func) : bool =
+  let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let rec mark_value = function
+    | V id ->
+      if not (Hashtbl.mem live id) then begin
+        Hashtbl.replace live id ();
+        Queue.add id work
+      end
+    | CVec (_, vs) -> List.iter mark_value vs
+    | _ -> ()
+  in
+  let defs = Util.def_table f in
+  (* roots: side effects and terminators *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          if has_side_effect i.op then begin
+            Hashtbl.replace live i.id ();
+            List.iter mark_value (operands i.op)
+          end)
+        b.instrs;
+      List.iter mark_value (term_operands b.term))
+    f.blocks;
+  (* transitive closure *)
+  while not (Queue.is_empty work) do
+    let id = Queue.pop work in
+    match Hashtbl.find_opt defs id with
+    | Some i -> List.iter mark_value (operands i.op)
+    | None -> ()
+  done;
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      let n0 = List.length b.instrs in
+      b.instrs <-
+        List.filter
+          (fun i -> has_side_effect i.op || Hashtbl.mem live i.id)
+          b.instrs;
+      if List.length b.instrs <> n0 then changed := true)
+    f.blocks;
+  !changed

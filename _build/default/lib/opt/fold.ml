@@ -1,0 +1,131 @@
+(** Constant folding: evaluate operations whose operands are all
+    constants, reusing the reference interpreter's evaluators so that
+    folding and execution can never disagree. *)
+
+open Obrew_ir
+open Ins
+
+let rec cv_of_const (v : value) : Interp.cv option =
+  match v with
+  | CInt (I128, x) -> Some (Interp.I128v (x, Int64.shift_right x 63))
+  | CInt (t, x) -> Some (Interp.I (Interp.trunc_bits (ty_bits t) x))
+  | CF64 f -> Some (Interp.F f)
+  | CF32 f -> Some (Interp.F32v (Interp.round_f32 f))
+  | CPtr a -> Some (Interp.P a)
+  | CVec (_, vs) ->
+    let rec lanes acc = function
+      | [] -> Some (List.rev acc)
+      | v :: tl -> (
+        match cv_of_const v with
+        | Some c -> lanes (c :: acc) tl
+        | None -> None)
+    in
+    (match lanes [] vs with
+     | Some l -> Some (Interp.Vc (Array.of_list l))
+     | None -> None)
+  | V _ | Global _ | Undef _ -> None
+
+let rec const_of_cv (t : ty) (c : Interp.cv) : value option =
+  match t, c with
+  | Ptr _, Interp.P a -> Some (CPtr a)
+  | Ptr _, Interp.I x -> Some (CPtr (Int64.to_int x))
+  | _, Interp.I x -> Some (CInt (t, x))
+  | I128, Interp.I128v (lo, hi) ->
+    if hi = Int64.shift_right lo 63 then Some (CInt (I128, lo)) else None
+  | F64, Interp.F f -> Some (CF64 f)
+  | F32, (Interp.F32v f | Interp.F f) -> Some (CF32 f)
+  | Vec (n, e), Interp.Vc lanes when Array.length lanes = n ->
+    let rec go acc i =
+      if i = n then Some (CVec (t, List.rev acc))
+      else
+        match const_of_cv e lanes.(i) with
+        | Some v -> go (v :: acc) (i + 1)
+        | None -> None
+    in
+    go [] 0
+  | _, Interp.U -> Some (Undef t)
+  | _ -> None
+
+let is_const v = cv_of_const v <> None
+
+(** Try to evaluate [op] to a constant value.  Returns [None] when any
+    operand is non-constant or the result is not representable. *)
+let fold_op (rty : ty option) (op : op) : value option =
+  let c2 f a b k =
+    match cv_of_const a, cv_of_const b with
+    | Some x, Some y -> (try k (f x y) with Interp.Interp_error _ -> None)
+    | _ -> None
+  in
+  match op, rty with
+  | Bin (o, t, a, b), Some rt ->
+    c2 (Interp.eval_bin o t) a b (fun r -> const_of_cv rt r)
+  | FBin (o, t, a, b), Some rt ->
+    c2 (Interp.eval_fbin o t) a b (fun r -> const_of_cv rt r)
+  | Icmp (p, t, a, b), _ ->
+    c2 (Interp.eval_icmp p t) a b (fun r -> const_of_cv I1 r)
+  | Fcmp (p, _, a, b), _ ->
+    c2 (Interp.eval_fcmp p) a b (fun r -> const_of_cv I1 r)
+  | Select (_, c, a, b), _ -> (
+    match c with
+    | CInt (I1, 1L) -> Some a
+    | CInt (I1, 0L) -> Some b
+    | _ -> if a = b && is_const a then Some a else None)
+  | Cast (k, st, v, dt), _ -> (
+    match cv_of_const v with
+    | Some x -> (
+      try const_of_cv dt (Interp.eval_cast k st x dt)
+      with Interp.Interp_error _ -> None)
+    | None -> None)
+  | Gep (base, elts), _ -> (
+    match cv_of_const base with
+    | Some (Interp.P a) ->
+      let rec go acc = function
+        | [] -> Some (CPtr acc)
+        | GConst c :: tl -> go (acc + c) tl
+        | GScaled (v, s) :: tl -> (
+          match cv_of_const v with
+          | Some (Interp.I x) -> go (acc + (Int64.to_int x * s)) tl
+          | _ -> None)
+      in
+      go a elts
+    | _ -> None)
+  | ExtractElt (_, v, l), Some rt -> (
+    match cv_of_const v with
+    | Some (Interp.Vc lanes) when l < Array.length lanes ->
+      const_of_cv rt lanes.(l)
+    | _ -> None)
+  | InsertElt (t, v, s, l), _ -> (
+    match cv_of_const v, cv_of_const s with
+    | Some (Interp.Vc lanes), Some sc ->
+      let lanes = Array.copy lanes in
+      lanes.(l) <- sc;
+      const_of_cv t (Interp.Vc lanes)
+    | _ -> None)
+  | Shuffle (rt, a, b, mask), _ -> (
+    match cv_of_const a, cv_of_const b with
+    | Some (Interp.Vc la), Some (Interp.Vc lb) ->
+      const_of_cv rt
+        (Interp.Vc
+           (Array.map
+              (fun i ->
+                if i < 0 then Interp.U
+                else if i < Array.length la then la.(i)
+                else lb.(i - Array.length la))
+              mask))
+    | _ -> None)
+  | Intr (Ctpop t, [ v ]), Some rt -> (
+    match cv_of_const v with
+    | Some (Interp.I x) ->
+      const_of_cv rt
+        (Interp.I
+           (Int64.of_int (Interp.popcount64 (Interp.trunc_bits (ty_bits t) x))))
+    | _ -> None)
+  | Intr (Sqrt _, [ v ]), Some rt -> (
+    match cv_of_const v with
+    | Some (Interp.F f) -> const_of_cv rt (Interp.F (sqrt f))
+    | _ -> None)
+  | Intr (Fabs _, [ v ]), Some rt -> (
+    match cv_of_const v with
+    | Some (Interp.F f) -> const_of_cv rt (Interp.F (Float.abs f))
+    | _ -> None)
+  | _ -> None

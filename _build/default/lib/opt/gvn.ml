@@ -1,0 +1,93 @@
+(** Global value numbering: dominator-scoped CSE of pure operations,
+    plus block-local redundant-load elimination (loads are reusable
+    until the next store or call). *)
+
+open Obrew_ir
+open Ins
+
+(* normalize commutative operand order so syntactic equality finds
+   more matches *)
+let normalize (op : op) : op =
+  let swap_if a b = if compare a b > 0 then (b, a) else (a, b) in
+  match op with
+  | Bin (((Add | Mul | And | Or | Xor) as o), t, a, b) ->
+    let a, b = swap_if a b in
+    Bin (o, t, a, b)
+  | FBin (((FAdd | FMul) as o), t, a, b) ->
+    let a, b = swap_if a b in
+    FBin (o, t, a, b)
+  | Icmp (((Eq | Ne) as p), t, a, b) ->
+    let a, b = swap_if a b in
+    Icmp (p, t, a, b)
+  | op -> op
+
+let pure_op = function
+  | Bin _ | FBin _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Gep _
+  | ExtractElt _ | InsertElt _ | Shuffle _ | Intr _ -> true
+  | Load _ | Store _ | Phi _ | CallDirect _ | CallPtr _ | Alloca _ -> false
+
+let run (f : func) : bool =
+  Cfg.prune_unreachable f;
+  let dom = Dom.compute f in
+  let live = Cfg.reachable f in
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      if Hashtbl.mem live b.bid then
+        match Dom.idom dom b.bid with
+        | Some p when p <> b.bid ->
+          Hashtbl.replace children p
+            (b.bid :: Option.value ~default:[] (Hashtbl.find_opt children p))
+        | _ -> ())
+    f.blocks;
+  let table : (op, value) Hashtbl.t = Hashtbl.create 64 in
+  let subst : (int, value) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref false in
+  let rec walk bid =
+    let blk = find_block f bid in
+    let undo = ref [] in
+    (* block-local load table, invalidated by stores/calls *)
+    let loads : (value * ty, value) Hashtbl.t = Hashtbl.create 8 in
+    blk.instrs <-
+      List.filter_map
+        (fun i ->
+          let i = { i with op = map_operands (Util.resolve subst) i.op } in
+          match i.op with
+          | Load (t, p, _) -> (
+            match Hashtbl.find_opt loads (p, t) with
+            | Some v ->
+              Hashtbl.replace subst i.id v;
+              changed := true;
+              None
+            | None ->
+              Hashtbl.replace loads (p, t) (V i.id);
+              Some i)
+          | Store (t, v, p, _) ->
+            (* conservative: a store invalidates all remembered loads,
+               then the stored value is forwardable for that address *)
+            Hashtbl.reset loads;
+            Hashtbl.replace loads (p, t) v;
+            Some i
+          | CallDirect _ | CallPtr _ ->
+            Hashtbl.reset loads;
+            Some i
+          | op when pure_op op -> (
+            let key = normalize op in
+            match Hashtbl.find_opt table key with
+            | Some v ->
+              Hashtbl.replace subst i.id v;
+              changed := true;
+              None
+            | None ->
+              Hashtbl.replace table key (V i.id);
+              undo := key :: !undo;
+              Some i)
+          | _ -> Some i)
+        blk.instrs;
+    blk.term <- map_term_operands (Util.resolve subst) blk.term;
+    List.iter walk (Option.value ~default:[] (Hashtbl.find_opt children bid));
+    List.iter (Hashtbl.remove table) !undo
+  in
+  walk (entry_block f).bid;
+  Util.apply_subst f subst;
+  !changed

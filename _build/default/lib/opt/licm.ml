@@ -1,0 +1,121 @@
+(** Loop-invariant code motion: hoist pure computations (and loads,
+    when the loop is store/call free) out of natural loops into the
+    preheader. *)
+
+open Obrew_ir
+open Ins
+
+(* natural loops: (header, body set, preheader) *)
+let loops (f : func) : (int * (int, unit) Hashtbl.t * int) list =
+  Cfg.prune_unreachable f;
+  let dom = Dom.compute f in
+  let preds = Cfg.predecessors f in
+  let backs =
+    List.concat_map
+      (fun (b : block) ->
+        List.filter_map
+          (fun s -> if Dom.dominates dom s b.bid then Some (b.bid, s) else None)
+          (successors b.term))
+      f.blocks
+  in
+  (* merge loops sharing a header *)
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let body =
+        match Hashtbl.find_opt by_header header with
+        | Some b -> b
+        | None ->
+          let b = Hashtbl.create 8 in
+          Hashtbl.replace b header ();
+          Hashtbl.replace by_header header b;
+          b
+      in
+      let rec up x =
+        if not (Hashtbl.mem body x) then begin
+          Hashtbl.replace body x ();
+          List.iter up (Option.value ~default:[] (Hashtbl.find_opt preds x))
+        end
+      in
+      up latch)
+    backs;
+  Hashtbl.fold
+    (fun header body acc ->
+      let outside =
+        List.filter
+          (fun p -> not (Hashtbl.mem body p))
+          (Option.value ~default:[] (Hashtbl.find_opt preds header))
+      in
+      match outside with
+      | [ pre ] -> (header, body, pre) :: acc
+      | _ -> acc)
+    by_header []
+
+(* pure and safe to execute speculatively (division can trap) *)
+let hoistable = function
+  | Bin ((SDiv | SRem | UDiv | URem), _, _, _) -> false
+  | Bin _ | FBin _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Gep _
+  | ExtractElt _ | InsertElt _ | Shuffle _ | Intr _ -> true
+  | Load _ | Store _ | Phi _ | CallDirect _ | CallPtr _ | Alloca _ -> false
+
+let run (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun (_, body, pre) ->
+      let in_body b = Hashtbl.mem body b in
+      (* ids defined inside the loop *)
+      let body_defs = Hashtbl.create 32 in
+      List.iter
+        (fun (b : block) ->
+          if in_body b.bid then
+            List.iter (fun i -> Hashtbl.replace body_defs i.id ()) b.instrs)
+        f.blocks;
+      let has_side_effects =
+        List.exists
+          (fun (b : block) ->
+            in_body b.bid
+            && List.exists
+                 (fun i ->
+                   match i.op with
+                   | Store _ | CallDirect _ | CallPtr _ -> true
+                   | _ -> false)
+                 b.instrs)
+          f.blocks
+      in
+      let pre_blk = find_block f pre in
+      let progress = ref true in
+      while !progress do
+        progress := false;
+        List.iter
+          (fun (b : block) ->
+            if in_body b.bid then begin
+              let hoisted, kept =
+                List.partition
+                  (fun i ->
+                    let ok_op =
+                      hoistable i.op
+                      || (match i.op with
+                          | Load _ -> not has_side_effects
+                          | _ -> false)
+                    in
+                    ok_op
+                    && List.for_all
+                         (fun v ->
+                           match v with
+                           | V id -> not (Hashtbl.mem body_defs id)
+                           | _ -> true)
+                         (operands i.op))
+                  b.instrs
+              in
+              if hoisted <> [] then begin
+                List.iter (fun i -> Hashtbl.remove body_defs i.id) hoisted;
+                pre_blk.instrs <- pre_blk.instrs @ hoisted;
+                b.instrs <- kept;
+                progress := true;
+                changed := true
+              end
+            end)
+          f.blocks
+      done)
+    (loops f);
+  !changed

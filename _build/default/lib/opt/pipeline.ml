@@ -1,0 +1,93 @@
+(** The -O3-style pass pipeline (Sec. IV: "the standard optimization
+    pipeline with level 3 ... is applied", optionally with
+    floating-point optimizations as with -ffast-math). *)
+
+open Obrew_ir
+open Ins
+
+type options = {
+  level : int;                  (* 0..3 *)
+  fast_math : bool;             (* -ffast-math analogue *)
+  force_vector_width : int option; (* -force-vector-width=N analogue *)
+  vector_aligned : bool;        (* emit aligned vector accesses (GCC-style
+                                   alignment handling) vs unaligned (JIT) *)
+  inline_threshold : int;
+  resolve_addr : int -> string option; (* for inlining lifted call targets *)
+  (* constant memory oracle for fixation/setmem-style specialization *)
+  const_load : addr:int -> len:int -> string option;
+  verify_each : bool;           (* run the verifier after each pass *)
+}
+
+let o3 =
+  { level = 3; fast_math = true; force_vector_width = None;
+    vector_aligned = false; inline_threshold = Inline.default_threshold;
+    resolve_addr = (fun _ -> None);
+    const_load = (fun ~addr:_ ~len:_ -> None); verify_each = false }
+
+let o0 = { o3 with level = 0 }
+
+(** Per-pass change statistics of the last {!run} (for the pass-
+    ablation study the paper motivates in Sec. I/VIII). *)
+type stats = { mutable pass_changes : (string * int) list }
+
+let stats = { pass_changes = [] }
+
+let bump name =
+  stats.pass_changes <-
+    (match List.assoc_opt name stats.pass_changes with
+     | Some n -> (name, n + 1) :: List.remove_assoc name stats.pass_changes
+     | None -> (name, 1) :: stats.pass_changes)
+
+(** Optimize one function in place. *)
+let run_func ?(opts = o3) (m : modul) (f : func) : unit =
+  if opts.level = 0 then ()
+  else begin
+    let glookup name = List.find_opt (fun g -> g.gname = name) m.globals in
+    let check name = if opts.verify_each then Verify.assert_ok ~ctx:name f in
+    let pass name p = if p () then begin bump name; check name end in
+    let instcombine () =
+      Instcombine.run ~fast_math:opts.fast_math ~const_load:opts.const_load
+        ~global_lookup:glookup f
+    in
+    let inline_cfg =
+      { Inline.threshold = opts.inline_threshold;
+        resolve_addr = opts.resolve_addr }
+    in
+    (* main scalar pipeline to fixpoint *)
+    let round () =
+      let changed = ref false in
+      let p name g = if g () then begin changed := true; bump name; check name end in
+      p "simplifycfg" (fun () -> Simplify_cfg.run f);
+      p "instcombine" instcombine;
+      p "mem2reg" (fun () -> Mem2reg.run f);
+      p "gvn" (fun () -> Gvn.run f);
+      p "dce" (fun () -> Dce.run f);
+      !changed
+    in
+    pass "inline" (fun () -> Inline.run ~config:inline_cfg m f);
+    let budget = ref 12 in
+    while round () && !budget > 0 do decr budget done;
+    (* loop transforms, then re-run the scalar pipeline *)
+    if opts.level >= 2 then begin
+      pass "licm" (fun () -> Licm.run f);
+      let budget = ref 6 in
+      while round () && !budget > 0 do decr budget done;
+      pass "unroll" (fun () -> Unroll.run ~fast_math:opts.fast_math f);
+      (* clean up after unrolling so remaining loops are canonical
+         before vectorization *)
+      let budget = ref 12 in
+      while round () && !budget > 0 do decr budget done;
+      (match opts.force_vector_width with
+       | Some w when opts.level >= 2 ->
+         pass "vectorize" (fun () ->
+             Vectorize.run ~width:w ~aligned:opts.vector_aligned f)
+       | _ -> ());
+      let budget = ref 12 in
+      while round () && !budget > 0 do decr budget done
+    end
+  end
+
+(** Optimize every function of the module. *)
+let run ?(opts = o3) (m : modul) : unit =
+  stats.pass_changes <- [];
+  List.iter (run_func ~opts m) m.funcs

@@ -1,0 +1,192 @@
+(** CFG simplification: fold constant branches, remove unreachable
+    blocks, merge straight-line block chains, and skip empty
+    forwarding blocks. *)
+
+open Obrew_ir
+open Ins
+
+(* Retarget phi inputs in [blk] when predecessor [from] is renamed to
+   [to_]. *)
+let rename_phi_pred (blk : block) ~from ~to_ =
+  blk.instrs <-
+    List.map
+      (fun i ->
+        match i.op with
+        | Phi (t, ins) ->
+          { i with
+            op = Phi (t, List.map (fun (p, v) ->
+                          ((if p = from then to_ else p), v)) ins) }
+        | _ -> i)
+      blk.instrs
+
+let fold_constant_branches (f : func) : bool =
+  let changed = ref false in
+  List.iter
+    (fun b ->
+      match b.term with
+      | CondBr (CInt (I1, c), t, e) ->
+        let taken = if c <> 0L then t else e in
+        let dead = if c <> 0L then e else t in
+        if dead <> taken then begin
+          (* remove this phi edge in the dead target *)
+          let db = find_block f dead in
+          db.instrs <-
+            List.map
+              (fun i ->
+                match i.op with
+                | Phi (ty, ins) ->
+                  { i with
+                    op = Phi (ty, List.filter (fun (p, _) -> p <> b.bid) ins)
+                  }
+                | _ -> i)
+              db.instrs
+        end;
+        b.term <- Br taken;
+        changed := true
+      | CondBr (_, t, e) when t = e ->
+        b.term <- Br t;
+        changed := true
+      | _ -> ())
+    f.blocks;
+  !changed
+
+(* Merge [b] with its unique successor [c] when [c] has exactly one
+   predecessor. *)
+let merge_chains (f : func) : bool =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let preds = Cfg.predecessors f in
+    let entry_bid = (entry_block f).bid in
+    let mergeable =
+      List.find_opt
+        (fun b ->
+          match b.term with
+          | Br c when c <> b.bid && c <> entry_bid ->
+            (match Hashtbl.find_opt preds c with
+             | Some [ p ] -> p = b.bid
+             | _ -> false)
+          | _ -> false)
+        f.blocks
+    in
+    match mergeable with
+    | None -> ()
+    | Some b ->
+      let c = match b.term with Br c -> c | _ -> assert false in
+      let cb = find_block f c in
+      (* phis in c have a single incoming: replace by their value *)
+      let subst = Hashtbl.create 4 in
+      let body =
+        List.filter_map
+          (fun i ->
+            match i.op with
+            | Phi (_, [ (_, v) ]) ->
+              Hashtbl.replace subst i.id v;
+              None
+            | Phi (_, ins) -> (
+              (* sole pred: all inputs must come from b *)
+              match List.assoc_opt b.bid ins with
+              | Some v ->
+                Hashtbl.replace subst i.id v;
+                None
+              | None -> Some i)
+            | _ -> Some i)
+          cb.instrs
+      in
+      b.instrs <- b.instrs @ body;
+      b.term <- cb.term;
+      f.blocks <- List.filter (fun x -> x.bid <> c) f.blocks;
+      (* successors of c now have predecessor b instead of c *)
+      List.iter
+        (fun s -> rename_phi_pred (find_block f s) ~from:c ~to_:b.bid)
+        (successors b.term);
+      Util.apply_subst f subst;
+      changed := true;
+      continue_ := true
+  done;
+  !changed
+
+(* Skip blocks that contain nothing but an unconditional branch, when
+   the target's phis can be retargeted unambiguously. *)
+let skip_empty_blocks (f : func) : bool =
+  let changed = ref false in
+  let entry_bid = (entry_block f).bid in
+  let preds = Cfg.predecessors f in
+  (* one block per invocation: the predecessor map goes stale once we
+     retarget edges, and processing a second empty block against stale
+     information can create duplicate phi inputs *)
+  let empties =
+    match
+      List.find_opt
+        (fun b ->
+          b.bid <> entry_bid && b.instrs = []
+          && (match b.term with Br t -> t <> b.bid | _ -> false))
+        f.blocks
+    with
+    | Some b -> [ b ]
+    | None -> []
+  in
+  List.iter
+    (fun b ->
+      let tgt = match b.term with Br t -> t | _ -> assert false in
+      let tb = find_block f tgt in
+      let bpreds = try Hashtbl.find preds b.bid with Not_found -> [] in
+      let tpreds = try Hashtbl.find preds tgt with Not_found -> [] in
+      (* safe when no phi conflict: each pred of b must not already be
+         a pred of tgt (else the phi would need merged values), and b
+         must have at least one predecessor *)
+      let conflict = List.exists (fun p -> List.mem p tpreds) bpreds in
+      if bpreds <> [] && not conflict then begin
+        (* retarget all branches to b directly to tgt *)
+        List.iter
+          (fun p ->
+            let pb = find_block f p in
+            let rt x = if x = b.bid then tgt else x in
+            pb.term <-
+              (match pb.term with
+               | Br x -> Br (rt x)
+               | CondBr (c, t, e) -> CondBr (c, rt t, rt e)
+               | t -> t))
+          bpreds;
+        (* phis in tgt: duplicate the incoming from b for each pred *)
+        tb.instrs <-
+          List.map
+            (fun i ->
+              match i.op with
+              | Phi (ty, ins) -> (
+                match List.assoc_opt b.bid ins with
+                | Some v ->
+                  let ins' =
+                    List.filter (fun (p, _) -> p <> b.bid) ins
+                    @ List.map (fun p -> (p, v)) bpreds
+                  in
+                  { i with op = Phi (ty, ins') }
+                | None -> i)
+              | _ -> i)
+            tb.instrs;
+        b.term <- Unreachable;
+        changed := true
+      end)
+    empties;
+  if !changed then Cfg.prune_unreachable f;
+  !changed
+
+let run_once (f : func) : bool =
+  let c1 = fold_constant_branches f in
+  let reach0 = List.length f.blocks in
+  Cfg.prune_unreachable f;
+  let c2 = List.length f.blocks <> reach0 in
+  let c3 = merge_chains f in
+  let c4 = skip_empty_blocks f in
+  c1 || c2 || c3 || c4
+
+(* run to a fixpoint: skip_empty_blocks handles one block at a time *)
+let run (f : func) : bool =
+  let changed = ref false in
+  let budget = ref 100 in
+  while run_once f && !budget > 0 do
+    decr budget;
+    changed := true
+  done;
+  !changed

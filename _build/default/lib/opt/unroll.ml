@@ -1,0 +1,429 @@
+(** Full loop unrolling by iterated peeling.
+
+    After parameter fixation the inner stencil-point loops have
+    constant trip counts; LLVM's -O3 fully unrolls them (Sec. IV/VI).
+    We find natural loops whose induction variable, step and bound are
+    constants, simulate the exit condition to obtain the trip count,
+    and peel the body that many times; constant folding and CFG
+    simplification then dissolve the per-iteration branches.  Loops
+    whose count times body size exceeds the threshold are left alone
+    (LLVM behaves the same way, which is why the 649-element line loop
+    is never unrolled). *)
+
+open Obrew_ir
+open Ins
+
+let size_threshold = 700
+let max_count = 256
+
+type loop_info = {
+  header : int;
+  latch : int;
+  body : int list;       (* includes header and latch *)
+  preheader : int;       (* unique predecessor of header outside loop *)
+  exit_src : int;        (* loop block with the exit edge *)
+  exit_blk : int;        (* target outside the loop; unique pred = exit_src *)
+}
+
+let find_loop (f : func) : loop_info option =
+  Cfg.prune_unreachable f;
+  let dom = Dom.compute f in
+  let preds = Cfg.predecessors f in
+  (* back edges *)
+  let backs =
+    List.concat_map
+      (fun (b : block) ->
+        List.filter_map
+          (fun s -> if Dom.dominates dom s b.bid then Some (b.bid, s) else None)
+          (successors b.term))
+      f.blocks
+  in
+  let try_loop (latch, header) =
+    (* body: blocks that reach latch without passing header *)
+    let body = Hashtbl.create 8 in
+    Hashtbl.replace body header ();
+    let rec up b =
+      if not (Hashtbl.mem body b) then begin
+        Hashtbl.replace body b ();
+        List.iter up (Option.value ~default:[] (Hashtbl.find_opt preds b))
+      end
+    in
+    up latch;
+    let in_body b = Hashtbl.mem body b in
+    (* unique back edge to this header? *)
+    let backs_to_h = List.filter (fun (_, h) -> h = header) backs in
+    if List.length backs_to_h <> 1 then None
+    else
+      (* unique preheader *)
+      let hpreds =
+        List.filter
+          (fun p -> not (in_body p))
+          (Option.value ~default:[] (Hashtbl.find_opt preds header))
+      in
+      match hpreds with
+      | [ preheader ] -> (
+        (* single exit edge *)
+        let exits =
+          List.concat_map
+            (fun (b : block) ->
+              if in_body b.bid then
+                List.filter_map
+                  (fun s -> if in_body s then None else Some (b.bid, s))
+                  (successors b.term)
+              else [])
+            f.blocks
+        in
+        match exits with
+        | [ (exit_src, exit_blk) ] ->
+          let epreds =
+            Option.value ~default:[] (Hashtbl.find_opt preds exit_blk)
+          in
+          if epreds = [ exit_src ] then
+            Some
+              { header; latch;
+                body = Hashtbl.fold (fun b () acc -> b :: acc) body [];
+                preheader; exit_src; exit_blk }
+          else None
+        | _ -> None)
+      | _ -> None
+  in
+  List.fold_left
+    (fun acc be -> match acc with Some _ -> acc | None -> try_loop be)
+    None backs
+
+(* Trip count by concrete simulation of the induction variable. *)
+let trip_count (f : func) (li : loop_info) : int option =
+  let hb = find_block f li.header in
+  let defs = Util.def_table f in
+  (* find iv phi: phi in header with const init from preheader and
+     incoming from latch defined as iv +/- const step *)
+  let ivs =
+    List.filter_map
+      (fun i ->
+        match i.op with
+        | Phi (t, ins) when is_int t -> (
+          match
+            (List.assoc_opt li.preheader ins, List.assoc_opt li.latch ins)
+          with
+          | Some (CInt (_, init)), Some (V nid) -> (
+            match Hashtbl.find_opt defs nid with
+            | Some { op = Bin (Add, _, V pv, CInt (_, step)); _ }
+              when pv = i.id ->
+              Some (i.id, nid, init, step, t)
+            | Some { op = Bin (Sub, _, V pv, CInt (_, step)); _ }
+              when pv = i.id ->
+              Some (i.id, nid, init, Int64.neg step, t)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      hb.instrs
+  in
+  (* the exit branch *)
+  let eb = find_block f li.exit_src in
+  match eb.term with
+  | CondBr (V cid, t, e) -> (
+    let exit_on_true = t = li.exit_blk in
+    ignore e;
+    match Hashtbl.find_opt defs cid with
+    | Some { op = Icmp (p, ct, V x, CInt (_, bound)); _ } -> (
+      (* x must be the iv or its incremented value *)
+      let iv =
+        List.find_opt (fun (ivid, nid, _, _, _) -> x = ivid || x = nid) ivs
+      in
+      match iv with
+      | Some (ivid, _, init, step, ity) when step <> 0L ->
+        let test_on_next = x <> ivid in
+        let bits = ty_bits ity in
+        let cmp v =
+          match
+            Interp.eval_icmp p ct
+              (Interp.I (Interp.trunc_bits bits v))
+              (Interp.I (Interp.trunc_bits 64 bound))
+          with
+          | Interp.I 1L -> true
+          | _ -> false
+        in
+        (* A non-rotated loop tests in a header distinct from the
+           latch, before the body runs; a rotated (do-while) loop —
+           including every single-block loop — tests after the body. *)
+        let header_style =
+          li.exit_src = li.header && li.header <> li.latch
+        in
+        let rec sim i count =
+          if count > max_count then None
+          else begin
+            (* value tested this iteration *)
+            let tested = if test_on_next then Int64.add i step else i in
+            let exit_now = cmp tested = exit_on_true in
+            if header_style then
+              if exit_now then Some count
+              else sim (Int64.add i step) (count + 1)
+            else if exit_now then Some (count + 1)
+            else sim (Int64.add i step) (count + 1)
+          end
+        in
+        ignore ivid;
+        sim init 0
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(* Peel one iteration off the front of the loop. *)
+let peel_once (f : func) (li : loop_info) : loop_info =
+  let blk_map = Hashtbl.create 8 in
+  let next_bid =
+    ref (1 + List.fold_left (fun m (b : block) -> max m b.bid) 0 f.blocks)
+  in
+  List.iter
+    (fun b ->
+      Hashtbl.replace blk_map b !next_bid;
+      incr next_bid)
+    li.body;
+  let id_map = Hashtbl.create 64 in
+  let fid id =
+    match Hashtbl.find_opt id_map id with
+    | Some x -> x
+    | None ->
+      let x = f.next_id in
+      f.next_id <- x + 1;
+      Hashtbl.replace id_map id x;
+      x
+  in
+  (* header phis are replaced by their preheader value in the clone *)
+  let hb = find_block f li.header in
+  let header_phi_subst = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      match i.op with
+      | Phi (_, ins) -> (
+        match List.assoc_opt li.preheader ins with
+        | Some v -> Hashtbl.replace header_phi_subst i.id v
+        | None -> ())
+      | _ -> ())
+    hb.instrs;
+  (* collect defs inside the body so we know which values to remap *)
+  let body_defs = Hashtbl.create 64 in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun i -> Hashtbl.replace body_defs i.id ())
+        (find_block f bid).instrs)
+    li.body;
+  let rec rv2 v =
+    match v with
+    | V id ->
+      if Hashtbl.mem header_phi_subst id then
+        Hashtbl.find header_phi_subst id
+      else if Hashtbl.mem body_defs id then V (fid id)
+      else v
+    | CVec (t, vs) -> CVec (t, List.map rv2 vs)
+    | _ -> v
+  in
+  let in_body b = List.mem b li.body in
+  let fblk b =
+    if b = li.header then li.header (* backedge goes to the original *)
+    else if in_body b then Hashtbl.find blk_map b
+    else b
+  in
+  let cloned =
+    List.map
+      (fun bid ->
+        let b = find_block f bid in
+        let instrs =
+          List.filter_map
+            (fun i ->
+              match i.op with
+              | Phi (_, _) when bid = li.header ->
+                None (* replaced by preheader values *)
+              | Phi (t, ins) ->
+                (* inner phi: predecessors are body blocks *)
+                Some
+                  { id = fid i.id; ty = i.ty;
+                    op =
+                      Phi
+                        ( t,
+                          List.map
+                            (fun (p, v) ->
+                              ((if in_body p then Hashtbl.find blk_map p else p),
+                               rv2 v))
+                            ins ) }
+              | op -> Some { id = fid i.id; ty = i.ty; op = map_operands rv2 op })
+            b.instrs
+        in
+        let term =
+          match b.term with
+          | Br t -> Br (fblk t)
+          | CondBr (c, t, e) -> CondBr (rv2 c, fblk t, fblk e)
+          | Ret v -> Ret (Option.map rv2 v)
+          | Unreachable -> Unreachable
+        in
+        { bid = Hashtbl.find blk_map bid; instrs; term })
+      li.body
+  in
+  f.blocks <- f.blocks @ cloned;
+  let clone_of b = Hashtbl.find blk_map b in
+  (* preheader now branches to the clone of the header *)
+  let pb = find_block f li.preheader in
+  let rt x = if x = li.header then clone_of li.header else x in
+  pb.term <-
+    (match pb.term with
+     | Br t -> Br (rt t)
+     | CondBr (c, t, e) -> CondBr (c, rt t, rt e)
+     | t -> t);
+  (* original header phis: the preheader edge is replaced by the edge
+     from the cloned latch; the incoming value is the latch value
+     remapped through the clone *)
+  hb.instrs <-
+    List.map
+      (fun i ->
+        match i.op with
+        | Phi (t, ins) ->
+          let latch_v =
+            match List.assoc_opt li.latch ins with
+            | Some v -> rv2 v
+            | None -> Undef t
+          in
+          let ins' =
+            List.map
+              (fun (p, v) ->
+                if p = li.preheader then (clone_of li.latch, latch_v)
+                else (p, v))
+              ins
+          in
+          { i with op = Phi (t, ins') }
+        | _ -> i)
+      hb.instrs;
+  (* exit block: one more predecessor (the cloned exit source); its
+     phis gain the remapped incoming *)
+  let eb = find_block f li.exit_blk in
+  eb.instrs <-
+    List.map
+      (fun i ->
+        match i.op with
+        | Phi (t, ins) -> (
+          match List.assoc_opt li.exit_src ins with
+          | Some v ->
+            { i with op = Phi (t, (clone_of li.exit_src, rv2 v) :: ins) }
+          | None -> { i with op = Phi (t, ins) })
+        | _ -> i)
+      eb.instrs;
+  { li with preheader = clone_of li.latch }
+
+(* Values defined in the loop and used outside must be funneled through
+   phis in the exit block (LCSSA), otherwise peeling breaks SSA. *)
+let make_lcssa (f : func) (li : loop_info) =
+  let in_body b = List.mem b li.body in
+  let body_defs = Hashtbl.create 64 in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun i -> if i.ty <> None then Hashtbl.replace body_defs i.id bid)
+        (find_block f bid).instrs)
+    li.body;
+  (* find outside uses *)
+  let tenv = Util.type_env f in
+  let needed = Hashtbl.create 8 in
+  let scan_use bid v =
+    match v with
+    | V id when Hashtbl.mem body_defs id && not (in_body bid) ->
+      Hashtbl.replace needed id ()
+    | _ -> ()
+  in
+  List.iter
+    (fun (b : block) ->
+      List.iter
+        (fun i ->
+          match i.op with
+          | Phi (_, ins) ->
+            List.iter (fun (p, v) -> if not (in_body p) then scan_use b.bid v
+                        else scan_use p v) ins
+          | op -> List.iter (scan_use b.bid) (operands op))
+        b.instrs;
+      List.iter (scan_use b.bid) (term_operands b.term))
+    f.blocks;
+  if Hashtbl.length needed > 0 then begin
+    let eb = find_block f li.exit_blk in
+    let subst = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun id () ->
+        let t = Hashtbl.find tenv id in
+        let pid = f.next_id in
+        f.next_id <- pid + 1;
+        eb.instrs <-
+          { id = pid; ty = Some t; op = Phi (t, [ (li.exit_src, V id) ]) }
+          :: eb.instrs;
+        Hashtbl.replace subst id (V pid))
+      needed;
+    (* replace uses outside the loop (except the LCSSA phis we just
+       created, which must keep referring to the original value) *)
+    let lcssa_ids =
+      Hashtbl.fold
+        (fun _ v acc ->
+          match v with V id -> id :: acc | _ -> acc)
+        subst []
+    in
+    List.iter
+      (fun (b : block) ->
+        if not (in_body b.bid) then begin
+          b.instrs <-
+            List.map
+              (fun i ->
+                if List.mem i.id lcssa_ids then i
+                else
+                  match i.op with
+                  | Phi (t, ins) ->
+                    { i with
+                      op =
+                        Phi
+                          ( t,
+                            List.map
+                              (fun (p, v) ->
+                                if in_body p then (p, v)
+                                else (p, Util.resolve subst v))
+                              ins ) }
+                  | op ->
+                    { i with op = map_operands (Util.resolve subst) op })
+              b.instrs;
+          b.term <- map_term_operands (Util.resolve subst) b.term
+        end)
+      f.blocks
+  end
+
+(** Peel one iteration off one constant-trip-count loop (the scalar
+    pipeline in between folds the per-iteration branch; a zero-trip
+    loop gets a final peel whose cloned header folds straight to the
+    exit, making the original loop unreachable).  Returns true when
+    something was peeled; call repeatedly until it returns false. *)
+let run_once ?(fast_math = false) (f : func) : bool =
+  match find_loop f with
+  | None -> false
+  | Some li -> (
+    match trip_count f li with
+    | None -> false
+    | Some count ->
+      let body_size =
+        List.fold_left
+          (fun acc b -> acc + List.length (find_block f b).instrs)
+          0 li.body
+      in
+      if count * body_size > size_threshold then false
+      else begin
+        make_lcssa f li;
+        ignore (peel_once f li);
+        ignore (Instcombine.run ~fast_math f);
+        ignore (Simplify_cfg.run f);
+        ignore (Instcombine.run ~fast_math f);
+        ignore (Simplify_cfg.run f);
+        ignore (Dce.run f);
+        true
+      end)
+
+(** Fully unroll all eligible loops. *)
+let run ?fast_math (f : func) : bool =
+  let changed = ref false in
+  let budget = ref (max_count * 4) in
+  while run_once ?fast_math f && !budget > 0 do
+    decr budget;
+    changed := true
+  done;
+  !changed

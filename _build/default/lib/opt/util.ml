@@ -1,0 +1,100 @@
+(** Shared helpers for IR passes. *)
+
+open Obrew_ir
+open Ins
+
+(** Map from value id to its defining instruction. *)
+let def_table (f : func) : (int, instr) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun i -> Hashtbl.replace t i.id i) b.instrs)
+    f.blocks;
+  t
+
+(** Map from value id to the block defining it. *)
+let def_block (f : func) : (int, int) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter
+    (fun b -> List.iter (fun i -> Hashtbl.replace t i.id b.bid) b.instrs)
+    f.blocks;
+  t
+
+(** Follow substitution chains to a fixpoint. *)
+let rec resolve (map : (int, value) Hashtbl.t) (v : value) : value =
+  match v with
+  | V id -> (
+    match Hashtbl.find_opt map id with
+    | Some v' when v' <> v -> resolve map v'
+    | _ -> v)
+  | CVec (t, vs) -> CVec (t, List.map (resolve map) vs)
+  | _ -> v
+
+(** Apply a substitution map over every operand in the function. *)
+let apply_subst (f : func) (map : (int, value) Hashtbl.t) =
+  if Hashtbl.length map > 0 then
+    List.iter
+      (fun b ->
+        b.instrs <-
+          List.map
+            (fun i -> { i with op = map_operands (resolve map) i.op })
+            b.instrs;
+        b.term <- map_term_operands (resolve map) b.term)
+      f.blocks
+
+(** Number of uses of each value id (operands + terminators). *)
+let use_counts (f : func) : (int, int) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  let rec count = function
+    | V id ->
+      Hashtbl.replace t id (1 + Option.value ~default:0 (Hashtbl.find_opt t id))
+    | CVec (_, vs) -> List.iter count vs
+    | _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter (fun i -> List.iter count (operands i.op)) b.instrs;
+      List.iter count (term_operands b.term))
+    f.blocks;
+  t
+
+(** Type environment for {!Verify.type_of_value}. *)
+let type_env (f : func) : (int, ty) Hashtbl.t =
+  let t = Hashtbl.create 64 in
+  List.iter2 (fun ty id -> Hashtbl.replace t id ty) f.sg.args f.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> match i.ty with Some ty -> Hashtbl.replace t i.id ty
+                                | None -> ())
+        b.instrs)
+    f.blocks;
+  t
+
+let ty_of env v = Verify.type_of_value env v
+
+(** Remap all value ids and block ids in a function by [fid]/[fblk]
+    (used by inlining and unrolling when splicing blocks). *)
+let remap_instr ~fid ~fblk (i : instr) : instr =
+  let rec rv = function
+    | V id -> V (fid id)
+    | CVec (t, vs) -> CVec (t, List.map rv vs)
+    | v -> v
+  in
+  let op =
+    match i.op with
+    | Phi (t, ins) -> Phi (t, List.map (fun (b, v) -> (fblk b, rv v)) ins)
+    | op -> map_operands rv op
+  in
+  { id = fid i.id; ty = i.ty; op }
+
+let remap_term ~fid ~fblk (t : terminator) : terminator =
+  let rec rv = function
+    | V id -> V (fid id)
+    | CVec (ty, vs) -> CVec (ty, List.map rv vs)
+    | v -> v
+  in
+  match t with
+  | Ret v -> Ret (Option.map rv v)
+  | Br b -> Br (fblk b)
+  | CondBr (c, a, b) -> CondBr (rv c, fblk a, fblk b)
+  | Unreachable -> Unreachable

@@ -1,0 +1,1 @@
+lib/stencil/stencil.ml: Array Cpu Image Int64 List Mem Obrew_minic Obrew_x86 Stdlib

@@ -1,0 +1,1 @@
+lib/x86/cpu.ml: Array Cost Decode Float Hashtbl Insn Int32 Int64 List Mem Printf Reg

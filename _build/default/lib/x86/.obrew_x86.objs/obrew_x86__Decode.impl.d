@@ -1,0 +1,1 @@
+lib/x86/decode.ml: Char Insn Int64 List Printf Reg String

@@ -1,0 +1,1 @@
+lib/x86/encode.ml: Buffer Char Hashtbl Insn Int64 List Printf Reg String

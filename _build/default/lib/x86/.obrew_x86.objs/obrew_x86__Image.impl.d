@@ -1,0 +1,1 @@
+lib/x86/image.ml: Array Cpu Decode Encode Hashtbl Insn Int64 List Mem Reg String

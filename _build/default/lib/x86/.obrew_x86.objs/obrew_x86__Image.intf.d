@@ -1,0 +1,1 @@
+lib/x86/image.mli: Cost Cpu Hashtbl Insn

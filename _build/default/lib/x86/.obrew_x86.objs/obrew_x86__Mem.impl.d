@@ -1,0 +1,1 @@
+lib/x86/mem.ml: Bytes Char Hashtbl Int32 Int64 String

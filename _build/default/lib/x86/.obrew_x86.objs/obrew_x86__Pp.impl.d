@@ -1,0 +1,1 @@
+lib/x86/pp.ml: Buffer Insn Int64 List Printf Reg String

@@ -1,0 +1,87 @@
+(** Cycle cost model for the emulator (stands in for the Haswell
+    testbed, see DESIGN.md Sec. 5).  A static throughput/latency blend:
+    every effect the paper measures is an instruction count/kind
+    difference, which this model preserves. *)
+
+open Insn
+
+type t = {
+  alu : int;            (* simple integer op, mov, lea *)
+  imul : int;
+  idiv : int;
+  load : int;           (* memory read *)
+  store : int;          (* memory write *)
+  fp_add : int;         (* scalar or packed add/sub/min/max *)
+  fp_mul : int;
+  fp_div : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  call : int;
+  ret : int;
+  push_pop : int;
+  unaligned_vec : int;  (* penalty for a 16-byte access not 16-aligned *)
+}
+
+let default =
+  { alu = 1; imul = 3; idiv = 24; load = 3; store = 2; fp_add = 3;
+    fp_mul = 5; fp_div = 18; branch_taken = 2; branch_not_taken = 1;
+    call = 4; ret = 4; push_pop = 2; unaligned_vec = 2 }
+
+let has_mem_src = function OMem _ -> true | _ -> false
+let xop_mem = function Xm _ -> true | Xr _ -> false
+
+(* base cost excluding memory-access and branch-direction components,
+   which the CPU adds when they are known *)
+let base c (i : insn) =
+  match i with
+  | Mov _ | Movabs _ | Movzx _ | Movsx _ | Lea _ -> c.alu
+  | Alu _ | Test _ | Shift _ | Unop _ | Cqo | Cdq -> c.alu
+  | Imul2 _ | Imul3 _ -> c.imul
+  | Idiv _ -> c.idiv
+  | Push _ | Pop _ -> c.push_pop
+  | Leave -> c.push_pop + c.alu
+  | Call _ | CallInd _ -> c.call
+  | Ret -> c.ret
+  | Jmp _ | JmpInd _ -> c.branch_taken
+  | Jcc _ -> 0 (* accounted by direction *)
+  | Cmov _ | Setcc _ -> c.alu
+  | SseMov _ | MovqXR _ | MovqRX _ -> c.alu
+  | SseArith ((FAdd | FSub | FMin | FMax), _, _, _) -> c.fp_add
+  | SseArith (FMul, _, _, _) -> c.fp_mul
+  | SseArith ((FDiv | FSqrt), _, _, _) -> c.fp_div
+  | SseLogic _ | Unpcklpd _ | Shufpd _ | Padd _ -> c.alu
+  | Ucomis _ -> c.fp_add
+  | Cvtsi2sd _ | Cvttsd2si _ | Cvtsd2ss _ | Cvtss2sd _ -> c.fp_add
+  | Nop _ -> 1
+  | Ud2 | Int3 -> 1
+
+(* memory access cost: add load/store per memory operand *)
+let mem_cost c (i : insn) =
+  let ld b = if b then c.load else 0 in
+  let st b = if b then c.store else 0 in
+  match i with
+  | Mov (_, d, s) -> ld (has_mem_src s) + st (has_mem_src d)
+  | Movzx (_, _, _, s) | Movsx (_, _, _, s) -> ld (has_mem_src s)
+  | Alu (Cmp, _, d, s) -> ld (has_mem_src s) + ld (has_mem_src d)
+  | Alu (_, _, d, s) ->
+    (* read-modify-write when destination is memory *)
+    ld (has_mem_src s) + (if has_mem_src d then c.load + c.store else 0)
+  | Test (_, d, s) -> ld (has_mem_src s) + ld (has_mem_src d)
+  | Imul2 (_, _, s) | Imul3 (_, _, s, _) | Idiv (_, s) -> ld (has_mem_src s)
+  | Shift (_, _, d, _) | Unop (_, _, d) ->
+    if has_mem_src d then c.load + c.store else 0
+  | Push s -> ld (has_mem_src s) + c.store
+  | Pop d -> c.load + st (has_mem_src d)
+  | Leave -> c.load
+  | Call _ | CallInd _ -> c.store (* return address push *)
+  | Ret -> c.load
+  | Cmov (_, _, _, s) -> ld (has_mem_src s)
+  | Setcc (_, d) -> st (has_mem_src d)
+  | SseMov (_, d, s) -> ld (xop_mem s) + st (xop_mem d)
+  | SseArith (_, _, _, s) | SseLogic (_, _, s) | Ucomis (_, _, s)
+  | Cvttsd2si (_, _, s) | Cvtsd2ss (_, s) | Cvtss2sd (_, s)
+  | Unpcklpd (_, s) | Shufpd (_, s, _) | Padd (_, _, s) -> ld (xop_mem s)
+  | Cvtsi2sd (_, _, s) -> ld (has_mem_src s)
+  | _ -> 0
+
+let insn_cost c i = base c i + mem_cost c i

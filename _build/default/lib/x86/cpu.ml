@@ -1,0 +1,646 @@
+(** x86-64 emulator: executes decoded instructions against a paged
+    memory, tracking a cycle count through {!Cost}.  This is the
+    "hardware" on which all five benchmark modes run. *)
+
+open Insn
+
+exception Emu_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Emu_error s)) fmt
+
+type t = {
+  mem : Mem.t;
+  regs : int64 array;          (* 16 GPRs *)
+  xlo : int64 array;           (* xmm low halves *)
+  xhi : int64 array;           (* xmm high halves *)
+  mutable rip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable o_f : bool;          (* overflow flag; `of` is a keyword *)
+  mutable pf : bool;
+  mutable af : bool;
+  mutable fs_base : int;
+  mutable gs_base : int;
+  mutable cycles : int;
+  mutable icount : int;
+  code : (int, insn * int) Hashtbl.t; (* decode cache *)
+  cost : Cost.t;
+}
+
+let create ?(cost = Cost.default) () =
+  { mem = Mem.create (); regs = Array.make 16 0L;
+    xlo = Array.make 16 0L; xhi = Array.make 16 0L; rip = 0;
+    zf = false; sf = false; cf = false; o_f = false; pf = false; af = false;
+    fs_base = 0; gs_base = 0; cycles = 0; icount = 0;
+    code = Hashtbl.create 512; cost }
+
+(* -------- scalar helpers -------- *)
+
+let addr_mask = (1 lsl 48) - 1
+
+let trunc w (v : int64) =
+  match w with
+  | W8 -> Int64.logand v 0xFFL
+  | W16 -> Int64.logand v 0xFFFFL
+  | W32 -> Int64.logand v 0xFFFFFFFFL
+  | W64 -> v
+
+let sext w (v : int64) =
+  match w with
+  | W8 -> Int64.shift_right (Int64.shift_left v 56) 56
+  | W16 -> Int64.shift_right (Int64.shift_left v 48) 48
+  | W32 -> Int64.shift_right (Int64.shift_left v 32) 32
+  | W64 -> v
+
+let msb w v =
+  Int64.logand (Int64.shift_right_logical v (width_bits w - 1)) 1L = 1L
+
+let parity_even (v : int64) =
+  let x = Int64.to_int (Int64.logand v 0xFFL) in
+  let x = x lxor (x lsr 4) in
+  let x = x lxor (x lsr 2) in
+  let x = x lxor (x lsr 1) in
+  x land 1 = 0
+
+(* -------- register access -------- *)
+
+let get_reg cpu w r = trunc w cpu.regs.(Reg.index r)
+let get_reg64 cpu r = cpu.regs.(Reg.index r)
+
+let get_reg8h cpu r =
+  Int64.logand (Int64.shift_right_logical cpu.regs.(Reg.index r) 8) 0xFFL
+
+let set_reg cpu w r v =
+  let i = Reg.index r in
+  match w with
+  | W64 -> cpu.regs.(i) <- v
+  | W32 -> cpu.regs.(i) <- trunc W32 v
+  | W16 ->
+    cpu.regs.(i) <-
+      Int64.logor
+        (Int64.logand cpu.regs.(i) 0xFFFFFFFFFFFF0000L)
+        (trunc W16 v)
+  | W8 ->
+    cpu.regs.(i) <-
+      Int64.logor
+        (Int64.logand cpu.regs.(i) 0xFFFFFFFFFFFFFF00L)
+        (trunc W8 v)
+
+let set_reg8h cpu r v =
+  let i = Reg.index r in
+  cpu.regs.(i) <-
+    Int64.logor
+      (Int64.logand cpu.regs.(i) 0xFFFFFFFFFFFF00FFL)
+      (Int64.shift_left (Int64.logand v 0xFFL) 8)
+
+(* -------- memory access -------- *)
+
+(* full 64-bit effective address (what lea computes) *)
+let effective cpu (m : mem_addr) : int64 =
+  let b =
+    match m.base with Some r -> get_reg64 cpu r | None -> 0L
+  in
+  let i =
+    match m.index with
+    | Some (r, s) ->
+      Int64.mul (get_reg64 cpu r) (Int64.of_int (scale_factor s))
+    | None -> 0L
+  in
+  let s =
+    match m.seg with
+    | Some FS -> cpu.fs_base
+    | Some GS -> cpu.gs_base
+    | None -> 0
+  in
+  Int64.add (Int64.add b i) (Int64.of_int (m.disp + s))
+
+let resolve cpu (m : mem_addr) = Int64.to_int (effective cpu m) land addr_mask
+
+let load cpu w a =
+  match w with
+  | W8 -> Int64.of_int (Mem.read_u8 cpu.mem a)
+  | W16 -> Int64.of_int (Mem.read_u16 cpu.mem a)
+  | W32 -> Int64.of_int (Mem.read_u32 cpu.mem a)
+  | W64 -> Mem.read_u64 cpu.mem a
+
+let store cpu w a (v : int64) =
+  match w with
+  | W8 -> Mem.write_u8 cpu.mem a (Int64.to_int v)
+  | W16 -> Mem.write_u16 cpu.mem a (Int64.to_int v)
+  | W32 -> Mem.write_u32 cpu.mem a (Int64.to_int (trunc W32 v))
+  | W64 -> Mem.write_u64 cpu.mem a v
+
+(* -------- operand access -------- *)
+
+let read_op cpu w = function
+  | OReg r -> get_reg cpu w r
+  | OReg8H r -> get_reg8h cpu r
+  | OMem m -> load cpu w (resolve cpu m)
+  | OImm v -> trunc w v
+
+let write_op cpu w op v =
+  match op with
+  | OReg r -> set_reg cpu w r v
+  | OReg8H r -> set_reg8h cpu r v
+  | OMem m -> store cpu w (resolve cpu m) v
+  | OImm _ -> err "cannot write to an immediate"
+
+(* -------- flags -------- *)
+
+let set_szp cpu w r =
+  cpu.zf <- trunc w r = 0L;
+  cpu.sf <- msb w r;
+  cpu.pf <- parity_even r
+
+let flags_logic cpu w r =
+  set_szp cpu w r;
+  cpu.cf <- false;
+  cpu.o_f <- false;
+  cpu.af <- false
+
+let flags_add ?(cin = 0L) cpu w a b r =
+  set_szp cpu w r;
+  (if w = W64 then
+     cpu.cf <- Int64.unsigned_compare r a < 0 || (cin = 1L && r = a)
+   else cpu.cf <- Int64.add (Int64.add a b) cin <> r);
+  cpu.o_f <- msb w (Int64.logand (Int64.logxor a r) (Int64.logxor b r));
+  cpu.af <- Int64.logand (Int64.logxor (Int64.logxor a b) r) 0x10L <> 0L
+
+let flags_sub ?(cin = 0L) cpu w a b r =
+  set_szp cpu w r;
+  (let a = trunc w a and b = trunc w b in
+   if cin = 1L && b = trunc w (-1L) then cpu.cf <- true
+   else cpu.cf <- Int64.unsigned_compare a (Int64.add b cin) < 0);
+  cpu.o_f <- msb w (Int64.logand (Int64.logxor a b) (Int64.logxor a r));
+  cpu.af <- Int64.logand (Int64.logxor (Int64.logxor a b) r) 0x10L <> 0L
+
+let cond cpu = function
+  | O -> cpu.o_f
+  | NO -> not cpu.o_f
+  | B -> cpu.cf
+  | AE -> not cpu.cf
+  | E -> cpu.zf
+  | NE -> not cpu.zf
+  | BE -> cpu.cf || cpu.zf
+  | A -> not (cpu.cf || cpu.zf)
+  | S -> cpu.sf
+  | NS -> not cpu.sf
+  | P -> cpu.pf
+  | NP -> not cpu.pf
+  | L -> cpu.sf <> cpu.o_f
+  | GE -> cpu.sf = cpu.o_f
+  | LE -> cpu.zf || cpu.sf <> cpu.o_f
+  | G -> (not cpu.zf) && cpu.sf = cpu.o_f
+
+(* -------- stack -------- *)
+
+let rsp_i = Reg.index Reg.RSP
+
+let push64 cpu v =
+  let sp = Int64.to_int cpu.regs.(rsp_i) - 8 in
+  cpu.regs.(rsp_i) <- Int64.of_int sp;
+  Mem.write_u64 cpu.mem (sp land addr_mask) v
+
+let pop64 cpu =
+  let sp = Int64.to_int cpu.regs.(rsp_i) in
+  let v = Mem.read_u64 cpu.mem (sp land addr_mask) in
+  cpu.regs.(rsp_i) <- Int64.of_int (sp + 8);
+  v
+
+(* -------- SSE helpers -------- *)
+
+let f64 (bits : int64) = Int64.float_of_bits bits
+let b64 (f : float) = Int64.bits_of_float f
+
+let f32 (bits : int64) =
+  Int32.float_of_bits (Int64.to_int32 bits)
+
+let b32 (f : float) =
+  Int64.logand (Int64.of_int32 (Int32.bits_of_float f)) 0xFFFFFFFFL
+
+let xop_load64 cpu = function
+  | Xr x -> cpu.xlo.(x)
+  | Xm m -> Mem.read_u64 cpu.mem (resolve cpu m)
+
+let xop_load128 cpu = function
+  | Xr x -> (cpu.xlo.(x), cpu.xhi.(x))
+  | Xm m ->
+    let a = resolve cpu m in
+    (Mem.read_u64 cpu.mem a, Mem.read_u64 cpu.mem (a + 8))
+
+let xop_load32 cpu = function
+  | Xr x -> Int64.logand cpu.xlo.(x) 0xFFFFFFFFL
+  | Xm m -> Int64.of_int (Mem.read_u32 cpu.mem (resolve cpu m))
+
+let fp_bin op a b =
+  match op with
+  | FAdd -> a +. b
+  | FSub -> a -. b
+  | FMul -> a *. b
+  | FDiv -> a /. b
+  (* x86 min/max semantics: source operand wins on NaN or equality *)
+  | FMin -> if a < b then a else b
+  | FMax -> if a > b then a else b
+  | FSqrt -> sqrt b (* unary: operates on source *)
+
+let lanes32 (lo, hi) = [| trunc W32 lo; Int64.shift_right_logical lo 32;
+                          trunc W32 hi; Int64.shift_right_logical hi 32 |]
+
+let pack32 l =
+  ( Int64.logor (trunc W32 l.(0)) (Int64.shift_left (trunc W32 l.(1)) 32),
+    Int64.logor (trunc W32 l.(2)) (Int64.shift_left (trunc W32 l.(3)) 32) )
+
+let is_16aligned a = a land 15 = 0
+
+(* -------- execution -------- *)
+
+let fetch cpu addr =
+  match Hashtbl.find_opt cpu.code addr with
+  | Some r -> r
+  | None ->
+    let r = Decode.decode ~read:(Mem.read_u8 cpu.mem) addr in
+    Hashtbl.replace cpu.code addr r;
+    r
+
+(** Invalidate the decode cache (after writing fresh code to memory). *)
+let flush_code cpu = Hashtbl.reset cpu.code
+
+let target_addr = function
+  | Abs a -> a
+  | Lbl l -> err "cannot execute unresolved label .L%d" l
+
+let exec cpu (i : insn) =
+  let c = cpu.cost in
+  let penalty = ref 0 in
+  let check_align16 m =
+    let a = resolve cpu m in
+    if not (is_16aligned a) then penalty := !penalty + c.unaligned_vec
+  in
+  (match i with
+   | Mov (w, dst, src) -> write_op cpu w dst (read_op cpu w src)
+   | Movabs (r, v) -> set_reg cpu W64 r v
+   | Movzx (dw, dst, sw, src) -> set_reg cpu dw dst (read_op cpu sw src)
+   | Movsx (dw, dst, sw, src) ->
+     set_reg cpu dw dst (trunc dw (sext sw (read_op cpu sw src)))
+   | Lea (dst, m) -> set_reg cpu W64 dst (effective cpu { m with seg = None })
+   | Alu (op, w, dst, src) ->
+     let a = read_op cpu w dst in
+     let b = read_op cpu w src in
+     (match op with
+      | Add ->
+        let r = trunc w (Int64.add a b) in
+        flags_add cpu w a b r;
+        write_op cpu w dst r
+      | Adc ->
+        let cin = if cpu.cf then 1L else 0L in
+        let r = trunc w (Int64.add (Int64.add a b) cin) in
+        flags_add ~cin cpu w a b r;
+        write_op cpu w dst r
+      | Sub ->
+        let r = trunc w (Int64.sub a b) in
+        flags_sub cpu w a b r;
+        write_op cpu w dst r
+      | Sbb ->
+        let cin = if cpu.cf then 1L else 0L in
+        let r = trunc w (Int64.sub (Int64.sub a b) cin) in
+        flags_sub ~cin cpu w a b r;
+        write_op cpu w dst r
+      | Cmp ->
+        let r = trunc w (Int64.sub a b) in
+        flags_sub cpu w a b r
+      | And ->
+        let r = Int64.logand a b in
+        flags_logic cpu w r;
+        write_op cpu w dst r
+      | Or ->
+        let r = Int64.logor a b in
+        flags_logic cpu w r;
+        write_op cpu w dst r
+      | Xor ->
+        let r = Int64.logxor a b in
+        flags_logic cpu w r;
+        write_op cpu w dst r)
+   | Test (w, a, b) ->
+     flags_logic cpu w (Int64.logand (read_op cpu w a) (read_op cpu w b))
+   | Imul2 (w, dst, src) ->
+     let a = sext w (get_reg cpu w dst) in
+     let b = sext w (read_op cpu w src) in
+     let p = Int64.mul a b in
+     let r = trunc w p in
+     let ovf = sext w r <> p ||
+               (w = W64 && a <> 0L && Int64.div p a <> b) in
+     set_szp cpu w r;
+     cpu.cf <- ovf; cpu.o_f <- ovf; cpu.af <- false;
+     set_reg cpu w dst r
+   | Imul3 (w, dst, src, imm) ->
+     let a = sext w (read_op cpu w src) in
+     let b = sext w (trunc w imm) in
+     let p = Int64.mul a b in
+     let r = trunc w p in
+     let ovf = sext w r <> p ||
+               (w = W64 && a <> 0L && Int64.div p a <> b) in
+     set_szp cpu w r;
+     cpu.cf <- ovf; cpu.o_f <- ovf; cpu.af <- false;
+     set_reg cpu w dst r
+   | Idiv (w, src) ->
+     let d = sext w (read_op cpu w src) in
+     if d = 0L then err "division by zero";
+     let dividend =
+       match w with
+       | W64 ->
+         let lo = cpu.regs.(0) and hi = cpu.regs.(2) in
+         if hi <> Int64.shift_right lo 63 then
+           err "128-bit idiv dividend unsupported";
+         lo
+       | W32 ->
+         let lo = trunc W32 cpu.regs.(0) in
+         let hi = trunc W32 cpu.regs.(2) in
+         sext W64 (Int64.logor lo (Int64.shift_left hi 32))
+       | _ -> err "8/16-bit idiv unsupported"
+     in
+     let q = Int64.div dividend d in
+     let r = Int64.rem dividend d in
+     if w = W32 && sext W32 (trunc W32 q) <> q then err "idiv overflow";
+     set_reg cpu w Reg.RAX q;
+     set_reg cpu w Reg.RDX r
+   | Cqo ->
+     cpu.regs.(2) <- Int64.shift_right cpu.regs.(0) 63
+   | Cdq ->
+     let v = Int64.shift_right (sext W32 (trunc W32 cpu.regs.(0))) 31 in
+     set_reg cpu W32 Reg.RDX v
+   | Shift (op, w, dst, cnt) ->
+     let bits = width_bits w in
+     let n =
+       (match cnt with
+        | ShImm n -> n
+        | ShCl -> Int64.to_int (trunc W8 cpu.regs.(1)))
+       land (if w = W64 then 63 else 31)
+     in
+     if n <> 0 then begin
+       let a = read_op cpu w dst in
+       let r =
+         match op with
+         | Shl -> trunc w (Int64.shift_left a n)
+         | Shr -> if n >= bits then 0L else Int64.shift_right_logical a n
+         | Sar ->
+           let s = sext w a in
+           trunc w (Int64.shift_right s (min n 63))
+       in
+       (match op with
+        | Shl ->
+          cpu.cf <-
+            n <= bits
+            && Int64.logand (Int64.shift_right_logical a (bits - n)) 1L = 1L;
+          cpu.o_f <- msb w r <> cpu.cf
+        | Shr ->
+          cpu.cf <- n <= bits && Int64.logand (Int64.shift_right_logical a (n - 1)) 1L = 1L;
+          cpu.o_f <- msb w a
+        | Sar ->
+          cpu.cf <-
+            Int64.logand (Int64.shift_right (sext w a) (min (n - 1) 63)) 1L
+            = 1L;
+          cpu.o_f <- false);
+       set_szp cpu w r;
+       write_op cpu w dst r
+     end
+   | Unop (op, w, dst) ->
+     let a = read_op cpu w dst in
+     (match op with
+      | Neg ->
+        let r = trunc w (Int64.neg a) in
+        set_szp cpu w r;
+        cpu.cf <- a <> 0L;
+        cpu.o_f <- msb w (Int64.logand a r);
+        write_op cpu w dst r
+      | Not -> write_op cpu w dst (trunc w (Int64.lognot a))
+      | Inc ->
+        let r = trunc w (Int64.add a 1L) in
+        let cf = cpu.cf in
+        flags_add cpu w a 1L r;
+        cpu.cf <- cf;
+        write_op cpu w dst r
+      | Dec ->
+        let r = trunc w (Int64.sub a 1L) in
+        let cf = cpu.cf in
+        flags_sub cpu w a 1L r;
+        cpu.cf <- cf;
+        write_op cpu w dst r)
+   | Push src -> push64 cpu (read_op cpu W64 src)
+   | Pop dst -> write_op cpu W64 dst (pop64 cpu)
+   | Leave ->
+     cpu.regs.(rsp_i) <- cpu.regs.(Reg.index Reg.RBP);
+     cpu.regs.(Reg.index Reg.RBP) <- pop64 cpu
+   | Call t ->
+     push64 cpu (Int64.of_int cpu.rip);
+     cpu.rip <- target_addr t
+   | CallInd op ->
+     let tgt = Int64.to_int (read_op cpu W64 op) land addr_mask in
+     push64 cpu (Int64.of_int cpu.rip);
+     cpu.rip <- tgt
+   | Ret -> cpu.rip <- Int64.to_int (pop64 cpu) land addr_mask
+   | Jmp t -> cpu.rip <- target_addr t
+   | JmpInd op -> cpu.rip <- Int64.to_int (read_op cpu W64 op) land addr_mask
+   | Jcc (cc, t) ->
+     if cond cpu cc then begin
+       cpu.rip <- target_addr t;
+       penalty := !penalty + c.branch_taken
+     end
+     else penalty := !penalty + c.branch_not_taken
+   | Cmov (cc, w, dst, src) ->
+     (* the load happens regardless of the condition *)
+     let v = read_op cpu w src in
+     if cond cpu cc then set_reg cpu w dst v
+     else if w = W32 then set_reg cpu w dst (get_reg cpu W32 dst)
+   | Setcc (cc, dst) ->
+     write_op cpu W8 dst (if cond cpu cc then 1L else 0L)
+   | SseMov (k, dst, src) ->
+     (match k, dst, src with
+      | (Movsd | Movss), Xr d, Xr s ->
+        if k = Movsd then cpu.xlo.(d) <- cpu.xlo.(s)
+        else
+          cpu.xlo.(d) <-
+            Int64.logor
+              (Int64.logand cpu.xlo.(d) 0xFFFFFFFF00000000L)
+              (Int64.logand cpu.xlo.(s) 0xFFFFFFFFL)
+      | Movsd, Xr d, (Xm _ as m) ->
+        cpu.xlo.(d) <- xop_load64 cpu m;
+        cpu.xhi.(d) <- 0L
+      | Movss, Xr d, (Xm _ as m) ->
+        cpu.xlo.(d) <- xop_load32 cpu m;
+        cpu.xhi.(d) <- 0L
+      | Movsd, Xm m, Xr s -> Mem.write_u64 cpu.mem (resolve cpu m) cpu.xlo.(s)
+      | Movss, Xm m, Xr s ->
+        Mem.write_u32 cpu.mem (resolve cpu m)
+          (Int64.to_int (Int64.logand cpu.xlo.(s) 0xFFFFFFFFL))
+      | Movq, Xr d, s ->
+        cpu.xlo.(d) <- xop_load64 cpu s;
+        cpu.xhi.(d) <- 0L
+      | Movq, Xm m, Xr s -> Mem.write_u64 cpu.mem (resolve cpu m) cpu.xlo.(s)
+      | (Movups | Movupd | Movdqu), Xr d, s ->
+        (match s with Xm m -> check_align16 m | Xr _ -> ());
+        let lo, hi = xop_load128 cpu s in
+        cpu.xlo.(d) <- lo;
+        cpu.xhi.(d) <- hi
+      | (Movaps | Movapd | Movdqa), Xr d, s ->
+        (match s with
+         | Xm m ->
+           if not (is_16aligned (resolve cpu m)) then
+             err "misaligned movaps load"
+         | Xr _ -> ());
+        let lo, hi = xop_load128 cpu s in
+        cpu.xlo.(d) <- lo;
+        cpu.xhi.(d) <- hi
+      | (Movups | Movupd | Movdqu), Xm m, Xr s ->
+        check_align16 m;
+        let a = resolve cpu m in
+        Mem.write_u64 cpu.mem a cpu.xlo.(s);
+        Mem.write_u64 cpu.mem (a + 8) cpu.xhi.(s)
+      | (Movaps | Movapd | Movdqa), Xm m, Xr s ->
+        let a = resolve cpu m in
+        if not (is_16aligned a) then err "misaligned movaps store";
+        Mem.write_u64 cpu.mem a cpu.xlo.(s);
+        Mem.write_u64 cpu.mem (a + 8) cpu.xhi.(s)
+      | _, Xm _, Xm _ -> err "SSE mem-to-mem move")
+   | MovqXR (x, r) ->
+     cpu.xlo.(x) <- get_reg64 cpu r;
+     cpu.xhi.(x) <- 0L
+   | MovqRX (r, x) -> set_reg cpu W64 r cpu.xlo.(x)
+   | SseArith (op, p, dst, src) ->
+     (match p with
+      | Sd ->
+        let a = f64 cpu.xlo.(dst) in
+        let b = f64 (xop_load64 cpu src) in
+        cpu.xlo.(dst) <- b64 (fp_bin op a b)
+      | Ss ->
+        let a = f32 cpu.xlo.(dst) in
+        let b = f32 (xop_load32 cpu src) in
+        cpu.xlo.(dst) <-
+          Int64.logor
+            (Int64.logand cpu.xlo.(dst) 0xFFFFFFFF00000000L)
+            (b32 (fp_bin op a b))
+      | Pd ->
+        (match src with Xm m -> check_align16 m | Xr _ -> ());
+        let slo, shi = xop_load128 cpu src in
+        cpu.xlo.(dst) <- b64 (fp_bin op (f64 cpu.xlo.(dst)) (f64 slo));
+        cpu.xhi.(dst) <- b64 (fp_bin op (f64 cpu.xhi.(dst)) (f64 shi))
+      | Ps ->
+        (match src with Xm m -> check_align16 m | Xr _ -> ());
+        let s = lanes32 (xop_load128 cpu src) in
+        let d = lanes32 (cpu.xlo.(dst), cpu.xhi.(dst)) in
+        let r =
+          Array.init 4 (fun i -> b32 (fp_bin op (f32 d.(i)) (f32 s.(i))))
+        in
+        let lo, hi = pack32 r in
+        cpu.xlo.(dst) <- lo;
+        cpu.xhi.(dst) <- hi)
+   | SseLogic (op, dst, src) ->
+     let slo, shi = xop_load128 cpu src in
+     let f =
+       match op with
+       | Pxor | Xorps | Xorpd -> Int64.logxor
+       | Pand | Andps | Andpd -> Int64.logand
+       | Por -> Int64.logor
+     in
+     cpu.xlo.(dst) <- f cpu.xlo.(dst) slo;
+     cpu.xhi.(dst) <- f cpu.xhi.(dst) shi
+   | Ucomis (p, dst, src) ->
+     let a, b =
+       if p = Sd then (f64 cpu.xlo.(dst), f64 (xop_load64 cpu src))
+       else (f32 cpu.xlo.(dst), f32 (xop_load32 cpu src))
+     in
+     if Float.is_nan a || Float.is_nan b then begin
+       cpu.zf <- true; cpu.pf <- true; cpu.cf <- true
+     end
+     else begin
+       cpu.zf <- a = b;
+       cpu.pf <- false;
+       cpu.cf <- a < b
+     end;
+     cpu.o_f <- false; cpu.sf <- false; cpu.af <- false
+   | Cvtsi2sd (x, w, src) ->
+     let v = sext w (read_op cpu w src) in
+     cpu.xlo.(x) <- b64 (Int64.to_float v)
+   | Cvttsd2si (r, w, src) ->
+     let f = f64 (xop_load64 cpu src) in
+     let v = Int64.of_float f in (* truncates toward zero *)
+     set_reg cpu w r (trunc w v)
+   | Cvtsd2ss (x, src) ->
+     let f = f64 (xop_load64 cpu src) in
+     cpu.xlo.(x) <-
+       Int64.logor (Int64.logand cpu.xlo.(x) 0xFFFFFFFF00000000L) (b32 f)
+   | Cvtss2sd (x, src) ->
+     let f = f32 (xop_load32 cpu src) in
+     cpu.xlo.(x) <- b64 f
+   | Unpcklpd (x, src) ->
+     let slo, _ = xop_load128 cpu src in
+     cpu.xhi.(x) <- slo
+   | Shufpd (x, src, imm) ->
+     let slo, shi = xop_load128 cpu src in
+     let dlo, dhi = (cpu.xlo.(x), cpu.xhi.(x)) in
+     cpu.xlo.(x) <- (if imm land 1 = 0 then dlo else dhi);
+     cpu.xhi.(x) <- (if imm land 2 = 0 then slo else shi)
+   | Padd (w, x, src) ->
+     let slo, shi = xop_load128 cpu src in
+     (match w with
+      | W64 ->
+        cpu.xlo.(x) <- Int64.add cpu.xlo.(x) slo;
+        cpu.xhi.(x) <- Int64.add cpu.xhi.(x) shi
+      | W32 ->
+        let s = lanes32 (slo, shi) in
+        let d = lanes32 (cpu.xlo.(x), cpu.xhi.(x)) in
+        let r = Array.init 4 (fun i -> trunc W32 (Int64.add d.(i) s.(i))) in
+        let lo, hi = pack32 r in
+        cpu.xlo.(x) <- lo;
+        cpu.xhi.(x) <- hi
+      | _ -> err "unsupported padd lane width")
+   | Nop _ -> ()
+   | Ud2 -> err "ud2 executed"
+   | Int3 -> err "int3 executed");
+  !penalty
+
+let step cpu =
+  let i, len = fetch cpu cpu.rip in
+  cpu.rip <- cpu.rip + len;
+  let penalty = exec cpu i in
+  cpu.icount <- cpu.icount + 1;
+  cpu.cycles <- cpu.cycles + Cost.insn_cost cpu.cost i + penalty
+
+(** Magic return address that stops {!run}. *)
+let stop_addr = 0xDEAD0000
+
+exception Step_limit_exceeded
+
+(** Run until control returns to {!stop_addr}. *)
+let run ?(max_steps = 2_000_000_000) cpu =
+  let steps = ref 0 in
+  while cpu.rip <> stop_addr do
+    step cpu;
+    incr steps;
+    if !steps > max_steps then raise Step_limit_exceeded
+  done
+
+(** Call the function at [fn] following the System V ABI: integer/
+    pointer arguments in rdi..., floating point arguments in xmm0...;
+    returns (rax, xmm0-as-float). *)
+let call ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
+  List.iteri
+    (fun i v ->
+      match List.nth_opt Reg.arg_regs i with
+      | Some r -> set_reg cpu W64 r v
+      | None -> err "too many integer arguments")
+    args;
+  List.iteri
+    (fun i v ->
+      if i > 7 then err "too many float arguments";
+      cpu.xlo.(i) <- Int64.bits_of_float v;
+      cpu.xhi.(i) <- 0L)
+    fargs;
+  (* align stack to 16 then push the stop sentinel: at function entry
+     rsp ≡ 8 (mod 16), exactly as after a real call *)
+  let sp = Int64.to_int cpu.regs.(rsp_i) land lnot 15 in
+  cpu.regs.(rsp_i) <- Int64.of_int sp;
+  push64 cpu (Int64.of_int stop_addr);
+  cpu.rip <- fn;
+  run ?max_steps cpu;
+  (cpu.regs.(0), Int64.float_of_bits cpu.xlo.(0))

@@ -1,0 +1,440 @@
+(** Binary decoder: x86-64 machine code bytes to {!Insn.insn}.
+
+    Covers exactly the encodings produced by {!Encode} plus the common
+    short forms (rel8 jumps, [b8+r] move-immediate) so that foreign
+    code following the same conventions also decodes.  RIP-relative
+    addressing and AVX are rejected, mirroring the paper's scope. *)
+
+open Insn
+
+exception Decode_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+type state = {
+  read : int -> int; (* byte fetch from the virtual address space *)
+  start : int;
+  mutable pos : int;
+  mutable seg : segment option;
+  mutable opsize16 : bool;
+  mutable repf2 : bool;
+  mutable repf3 : bool;
+  mutable rex : int option; (* raw REX byte *)
+}
+
+let u8 st =
+  let b = st.read st.pos land 0xff in
+  st.pos <- st.pos + 1;
+  b
+
+let i8 st =
+  let b = u8 st in
+  if b >= 128 then b - 256 else b
+
+let u16 st =
+  let lo = u8 st in
+  lo lor (u8 st lsl 8)
+
+let i32 st =
+  let b0 = u8 st in
+  let b1 = u8 st in
+  let b2 = u8 st in
+  let b3 = u8 st in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  if v land 0x80000000 <> 0 then v - (1 lsl 32) else v
+
+let i64 st =
+  let lo = Int64.of_int (i32 st) in
+  let lo = Int64.logand lo 0xFFFFFFFFL in
+  let hi = Int64.of_int (i32 st) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let rex_w st = match st.rex with Some r -> r land 8 <> 0 | None -> false
+let rex_r st = match st.rex with Some r -> (r land 4) lsl 1 | None -> 0
+let rex_x st = match st.rex with Some r -> (r land 2) lsl 2 | None -> 0
+let rex_b st = match st.rex with Some r -> (r land 1) lsl 3 | None -> 0
+
+(* integer operand width from prefixes for non-byte opcodes *)
+let opwidth st =
+  if rex_w st then W64 else if st.opsize16 then W16 else W32
+
+(** Decoded r/m: register or memory. *)
+type rm_res = RReg of int | RMem of mem_addr
+
+let decode_modrm st : int * rm_res =
+  let modrm = u8 st in
+  let md = modrm lsr 6 in
+  let reg = ((modrm lsr 3) land 7) lor rex_r st in
+  let rm = modrm land 7 in
+  if md = 3 then (reg, RReg (rm lor rex_b st))
+  else begin
+    let base, index, force_disp32_nobase =
+      if rm = 4 then begin
+        let sib = u8 st in
+        let sc = sib lsr 6 in
+        let idx = ((sib lsr 3) land 7) lor rex_x st in
+        let bs = (sib land 7) lor rex_b st in
+        let index =
+          if idx land 7 = 4 && rex_x st = 0 then None
+          else if idx = 4 then None (* 100 w/o REX.X = none *)
+          else
+            Some
+              ( Reg.of_index idx,
+                match sc with 0 -> S1 | 1 -> S2 | 2 -> S4 | _ -> S8 )
+        in
+        if md = 0 && bs land 7 = 5 then (None, index, true)
+        else (Some (Reg.of_index bs), index, false)
+      end
+      else if md = 0 && rm = 5 then err "RIP-relative addressing unsupported"
+      else (Some (Reg.of_index (rm lor rex_b st)), None, false)
+    in
+    let disp =
+      if force_disp32_nobase then i32 st
+      else
+        match md with 0 -> 0 | 1 -> i8 st | 2 -> i32 st
+                    | _ -> assert false
+    in
+    (reg, RMem { base; index; disp; seg = st.seg })
+  end
+
+let gpr_operand st idx_w rm =
+  match rm with
+  | RReg i ->
+    if idx_w = W8 && st.rex = None && i >= 4 && i <= 7 then
+      OReg8H (Reg.of_index (i - 4))
+    else OReg (Reg.of_index i)
+  | RMem m -> OMem m
+
+let reg_field_operand st w reg =
+  if w = W8 && st.rex = None && reg >= 4 && reg <= 7 then
+    `H (Reg.of_index (reg - 4))
+  else `R (Reg.of_index reg)
+
+let xop_of_rm = function RReg i -> Xr i | RMem m -> Xm m
+
+let imm_for st w =
+  match w with
+  | W8 -> Int64.of_int (i8 st)
+  | W16 ->
+    let v = u16 st in
+    Int64.of_int (if v >= 32768 then v - 65536 else v)
+  | W32 | W64 -> Int64.of_int (i32 st)
+
+(* Build a Mov-like two-operand insn where the reg field may be a
+   high-byte register. *)
+let mk_rr mk st w reg rm ~reg_is_dst =
+  let rop =
+    match reg_field_operand st w reg with
+    | `R r -> OReg r
+    | `H r -> OReg8H r
+  in
+  let mop = gpr_operand st w rm in
+  if reg_is_dst then mk w rop mop else mk w mop rop
+
+let sse_prec st =
+  if st.repf2 then Sd else if st.repf3 then Ss
+  else if st.opsize16 then Pd else Ps
+
+let decode_0f st =
+  let op = u8 st in
+  match op with
+  | 0x0b -> Ud2
+  | 0x10 | 0x11 ->
+    let k =
+      if st.repf2 then Movsd else if st.repf3 then Movss
+      else if st.opsize16 then Movupd else Movups
+    in
+    let reg, rm = decode_modrm st in
+    if op = 0x10 then SseMov (k, Xr reg, xop_of_rm rm)
+    else SseMov (k, xop_of_rm rm, Xr reg)
+  | 0x14 ->
+    if not st.opsize16 then err "unpcklps unsupported";
+    let reg, rm = decode_modrm st in
+    Unpcklpd (reg, xop_of_rm rm)
+  | 0x1f ->
+    (* multi-byte NOP: consume ModRM and report total length later *)
+    let _ = decode_modrm st in
+    Nop 1
+  | 0x28 | 0x29 ->
+    let k = if st.opsize16 then Movapd else Movaps in
+    let reg, rm = decode_modrm st in
+    if op = 0x28 then SseMov (k, Xr reg, xop_of_rm rm)
+    else SseMov (k, xop_of_rm rm, Xr reg)
+  | 0x2a ->
+    if not st.repf2 then err "cvtsi2ss unsupported";
+    let w = if rex_w st then W64 else W32 in
+    let reg, rm = decode_modrm st in
+    Cvtsi2sd (reg, w, gpr_operand st w rm)
+  | 0x2c ->
+    if not st.repf2 then err "cvttss2si unsupported";
+    let w = if rex_w st then W64 else W32 in
+    let reg, rm = decode_modrm st in
+    Cvttsd2si (Reg.of_index reg, w, xop_of_rm rm)
+  | 0x2e | 0x2f ->
+    let p = if st.opsize16 then Sd else Ss in
+    let reg, rm = decode_modrm st in
+    Ucomis (p, reg, xop_of_rm rm)
+  | b when b >= 0x40 && b <= 0x4f ->
+    let w = opwidth st in
+    let reg, rm = decode_modrm st in
+    Cmov (cc_of_index (b land 0xf), w, Reg.of_index reg, gpr_operand st w rm)
+  | 0x51 | 0x54 | 0x57 | 0x58 | 0x59 | 0x5c | 0x5d | 0x5e | 0x5f ->
+    let reg, rm = decode_modrm st in
+    let xo = xop_of_rm rm in
+    (match op with
+     | 0x54 ->
+       SseLogic ((if st.opsize16 then Andpd else Andps), reg, xo)
+     | 0x57 ->
+       SseLogic ((if st.opsize16 then Xorpd else Xorps), reg, xo)
+     | _ ->
+       let p = sse_prec st in
+       let a =
+         match op with
+         | 0x51 -> FSqrt | 0x58 -> FAdd | 0x59 -> FMul | 0x5c -> FSub
+         | 0x5d -> FMin | 0x5e -> FDiv | 0x5f -> FMax
+         | _ -> assert false
+       in
+       SseArith (a, p, reg, xo))
+  | 0x5a ->
+    let reg, rm = decode_modrm st in
+    if st.repf2 then Cvtsd2ss (reg, xop_of_rm rm)
+    else if st.repf3 then Cvtss2sd (reg, xop_of_rm rm)
+    else err "cvtps2pd unsupported"
+  | 0x6e ->
+    if not (st.opsize16 && rex_w st) then err "movd unsupported";
+    let reg, rm = decode_modrm st in
+    (match rm with
+     | RReg r -> MovqXR (reg, Reg.of_index r)
+     | RMem _ -> err "movq from memory uses F3 0F 7E")
+  | 0x6f | 0x7f ->
+    let k =
+      if st.opsize16 then Movdqa
+      else if st.repf3 then Movdqu
+      else err "mmx movq unsupported"
+    in
+    let reg, rm = decode_modrm st in
+    if op = 0x6f then SseMov (k, Xr reg, xop_of_rm rm)
+    else SseMov (k, xop_of_rm rm, Xr reg)
+  | 0x7e ->
+    let reg, rm = decode_modrm st in
+    if st.repf3 then SseMov (Movq, Xr reg, xop_of_rm rm)
+    else if st.opsize16 && rex_w st then
+      (match rm with
+       | RReg r -> MovqRX (Reg.of_index r, reg)
+       | RMem _ -> err "movq store to memory uses 66 0F D6")
+    else err "movd unsupported"
+  | b when b >= 0x80 && b <= 0x8f ->
+    let rel = i32 st in
+    Jcc (cc_of_index (b land 0xf), Abs (st.pos + rel))
+  | b when b >= 0x90 && b <= 0x9f ->
+    let _, rm = decode_modrm st in
+    Setcc (cc_of_index (b land 0xf), gpr_operand st W8 rm)
+  | 0xaf ->
+    let w = opwidth st in
+    let reg, rm = decode_modrm st in
+    Imul2 (w, Reg.of_index reg, gpr_operand st w rm)
+  | 0xb6 | 0xb7 ->
+    let dw = opwidth st in
+    let sw = if op = 0xb6 then W8 else W16 in
+    let reg, rm = decode_modrm st in
+    Movzx (dw, Reg.of_index reg, sw, gpr_operand st sw rm)
+  | 0xbe | 0xbf ->
+    let dw = opwidth st in
+    let sw = if op = 0xbe then W8 else W16 in
+    let reg, rm = decode_modrm st in
+    Movsx (dw, Reg.of_index reg, sw, gpr_operand st sw rm)
+  | 0xc6 ->
+    if not st.opsize16 then err "shufps unsupported";
+    let reg, rm = decode_modrm st in
+    let imm = u8 st in
+    Shufpd (reg, xop_of_rm rm, imm)
+  | 0xd4 ->
+    if not st.opsize16 then err "paddq requires 66 prefix";
+    let reg, rm = decode_modrm st in
+    Padd (W64, reg, xop_of_rm rm)
+  | 0xd6 ->
+    if not st.opsize16 then err "movq store requires 66 prefix";
+    let reg, rm = decode_modrm st in
+    SseMov (Movq, xop_of_rm rm, Xr reg)
+  | 0xdb ->
+    let reg, rm = decode_modrm st in
+    SseLogic (Pand, reg, xop_of_rm rm)
+  | 0xeb ->
+    let reg, rm = decode_modrm st in
+    SseLogic (Por, reg, xop_of_rm rm)
+  | 0xef ->
+    let reg, rm = decode_modrm st in
+    SseLogic (Pxor, reg, xop_of_rm rm)
+  | 0xfe ->
+    if not st.opsize16 then err "paddd requires 66 prefix";
+    let reg, rm = decode_modrm st in
+    Padd (W32, reg, xop_of_rm rm)
+  | b -> err "unsupported 0F opcode 0x%02x" b
+
+let decode_one st =
+  let op = u8 st in
+  match op with
+  | b when b < 0x40 && b land 7 < 4 && b land 0xc0 = 0 ->
+    (* ALU block 00-3B *)
+    let aop = alu_of_digit (b lsr 3) in
+    let form = b land 7 in
+    let w = if form land 1 = 0 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let mk w a bb = Alu (aop, w, a, bb) in
+    mk_rr mk st w reg rm ~reg_is_dst:(form >= 2)
+  | b when b >= 0x50 && b <= 0x57 ->
+    Push (OReg (Reg.of_index ((b land 7) lor rex_b st)))
+  | b when b >= 0x58 && b <= 0x5f ->
+    Pop (OReg (Reg.of_index ((b land 7) lor rex_b st)))
+  | 0x63 ->
+    let reg, rm = decode_modrm st in
+    Movsx (W64, Reg.of_index reg, W32, gpr_operand st W32 rm)
+  | 0x68 -> Push (OImm (Int64.of_int (i32 st)))
+  | 0x69 | 0x6b ->
+    let w = opwidth st in
+    let reg, rm = decode_modrm st in
+    let imm =
+      if op = 0x6b then Int64.of_int (i8 st)
+      else imm_for st (if w = W64 then W32 else w)
+    in
+    Imul3 (w, Reg.of_index reg, gpr_operand st w rm, imm)
+  | 0x6a -> Push (OImm (Int64.of_int (i8 st)))
+  | b when b >= 0x70 && b <= 0x7f ->
+    let rel = i8 st in
+    Jcc (cc_of_index (b land 0xf), Abs (st.pos + rel))
+  | 0x80 | 0x81 | 0x83 ->
+    let w = if op = 0x80 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let imm =
+      if op = 0x83 then Int64.of_int (i8 st)
+      else if op = 0x80 then Int64.of_int (i8 st)
+      else imm_for st (if w = W64 then W32 else w)
+    in
+    Alu (alu_of_digit reg, w, gpr_operand st w rm, OImm imm)
+  | 0x84 | 0x85 ->
+    let w = if op = 0x84 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let mk w a bb = Test (w, a, bb) in
+    mk_rr mk st w reg rm ~reg_is_dst:false
+  | 0x88 | 0x89 | 0x8a | 0x8b ->
+    let w = if op land 1 = 0 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let mk w a bb = Mov (w, a, bb) in
+    mk_rr mk st w reg rm ~reg_is_dst:(op >= 0x8a)
+  | 0x8d ->
+    let reg, rm = decode_modrm st in
+    (match rm with
+     | RMem m -> Lea (Reg.of_index reg, m)
+     | RReg _ -> err "lea requires a memory operand")
+  | 0x8f ->
+    let reg, rm = decode_modrm st in
+    if reg land 7 <> 0 then err "invalid 8F group";
+    Pop (gpr_operand st W64 rm)
+  | 0x90 -> Nop 1
+  | 0x99 -> if rex_w st then Cqo else Cdq
+  | b when b >= 0xb8 && b <= 0xbf ->
+    let r = Reg.of_index ((b land 7) lor rex_b st) in
+    if rex_w st then Movabs (r, i64 st)
+    else if st.opsize16 then Mov (W16, OReg r, OImm (imm_for st W16))
+    else Mov (W32, OReg r, OImm (Int64.of_int (i32 st)))
+  | 0xc0 | 0xc1 | 0xd2 | 0xd3 ->
+    let w = if op = 0xc0 || op = 0xd2 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let sop =
+      match reg land 7 with
+      | 4 -> Shl | 5 -> Shr | 7 -> Sar
+      | d -> err "unsupported shift group digit %d" d
+    in
+    let count = if op <= 0xc1 then ShImm (u8 st) else ShCl in
+    Shift (sop, w, gpr_operand st w rm, count)
+  | 0xc3 -> Ret
+  | 0xc6 | 0xc7 ->
+    let w = if op = 0xc6 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    if reg land 7 <> 0 then err "invalid C7 group";
+    let imm = imm_for st (if w = W64 then W32 else w) in
+    Mov (w, gpr_operand st w rm, OImm imm)
+  | 0xc9 -> Leave
+  | 0xcc -> Int3
+  | 0xe8 ->
+    let rel = i32 st in
+    Call (Abs (st.pos + rel))
+  | 0xe9 ->
+    let rel = i32 st in
+    Jmp (Abs (st.pos + rel))
+  | 0xeb ->
+    let rel = i8 st in
+    Jmp (Abs (st.pos + rel))
+  | 0xf6 | 0xf7 ->
+    let w = if op = 0xf6 then W8 else opwidth st in
+    let reg, rm = decode_modrm st in
+    let o = gpr_operand st w rm in
+    (match reg land 7 with
+     | 0 -> Test (w, o, OImm (imm_for st (if w = W64 then W32 else w)))
+     | 2 -> Unop (Not, w, o)
+     | 3 -> Unop (Neg, w, o)
+     | 7 -> Idiv (w, o)
+     | d -> err "unsupported F7 group digit %d" d)
+  | 0xfe ->
+    let reg, rm = decode_modrm st in
+    let o = gpr_operand st W8 rm in
+    (match reg land 7 with
+     | 0 -> Unop (Inc, W8, o)
+     | 1 -> Unop (Dec, W8, o)
+     | d -> err "unsupported FE group digit %d" d)
+  | 0xff ->
+    let w = opwidth st in
+    let reg, rm = decode_modrm st in
+    let o64 = gpr_operand st W64 rm in
+    (match reg land 7 with
+     | 0 -> Unop (Inc, w, gpr_operand st w rm)
+     | 1 -> Unop (Dec, w, gpr_operand st w rm)
+     | 2 -> CallInd o64
+     | 4 -> JmpInd o64
+     | 6 -> Push o64
+     | d -> err "unsupported FF group digit %d" d)
+  | 0x0f -> decode_0f st
+  | b -> err "unsupported opcode 0x%02x" b
+
+(** [decode ~read addr] decodes the instruction at virtual address
+    [addr], returning it together with its length in bytes. *)
+let decode ~read addr : insn * int =
+  let st =
+    { read; start = addr; pos = addr; seg = None; opsize16 = false;
+      repf2 = false; repf3 = false; rex = None }
+  in
+  let rec prefixes () =
+    let b = st.read st.pos land 0xff in
+    match b with
+    | 0x66 -> st.opsize16 <- true; st.pos <- st.pos + 1; prefixes ()
+    | 0xf2 -> st.repf2 <- true; st.pos <- st.pos + 1; prefixes ()
+    | 0xf3 -> st.repf3 <- true; st.pos <- st.pos + 1; prefixes ()
+    | 0x64 -> st.seg <- Some FS; st.pos <- st.pos + 1; prefixes ()
+    | 0x65 -> st.seg <- Some GS; st.pos <- st.pos + 1; prefixes ()
+    | b when b >= 0x40 && b <= 0x4f ->
+      st.rex <- Some b; st.pos <- st.pos + 1
+      (* REX must be the last prefix *)
+    | _ -> ()
+  in
+  prefixes ();
+  let i = decode_one st in
+  let len = st.pos - st.start in
+  (* report the true byte length of multi-byte NOPs *)
+  let i = match i with Nop _ -> Nop len | i -> i in
+  (i, len)
+
+(** Decode a string of bytes starting at virtual address [base] into an
+    address-tagged instruction listing. *)
+let decode_all ~base (code : string) : (int * insn) list =
+  let read a =
+    let off = a - base in
+    if off < 0 || off >= String.length code then err "read out of bounds"
+    else Char.code code.[off]
+  in
+  let rec go a acc =
+    if a - base >= String.length code then List.rev acc
+    else
+      let i, len = decode ~read a in
+      go (a + len) ((a, i) :: acc)
+  in
+  go base []

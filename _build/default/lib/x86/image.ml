@@ -1,0 +1,109 @@
+(** Virtual address-space layout on top of a {!Cpu.t}: a bump
+    allocator for code and data regions, a symbol table, and stack
+    setup.  Plays the role of the process image / JIT memory manager. *)
+
+type t = {
+  cpu : Cpu.t;
+  mutable next_code : int;
+  mutable next_data : int;
+  symbols : (string, int) Hashtbl.t;
+  mutable stack_top : int;
+}
+
+let code_base = 0x0040_0000
+let data_base = 0x1000_0000
+let stack_base = 0x7F00_0000
+let stack_size = 0x10_0000 (* 1 MiB *)
+
+let create ?cost () =
+  let cpu = Cpu.create ?cost () in
+  let t =
+    { cpu; next_code = code_base; next_data = data_base;
+      symbols = Hashtbl.create 32; stack_top = stack_base }
+  in
+  Cpu.set_reg cpu Insn.W64 Reg.RSP (Int64.of_int stack_base);
+  t
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+(** Reserve [size] bytes of zero-initialised data, [align]-aligned. *)
+let alloc_data ?(align = 16) t size =
+  let a = align_up t.next_data align in
+  t.next_data <- a + size;
+  a
+
+(** Reset the stack pointer (between independent benchmark runs). *)
+let reset_stack t =
+  Cpu.set_reg t.cpu Insn.W64 Reg.RSP (Int64.of_int stack_base)
+
+let define t name addr = Hashtbl.replace t.symbols name addr
+
+let lookup t name =
+  match Hashtbl.find_opt t.symbols name with
+  | Some a -> a
+  | None -> invalid_arg ("Image.lookup: undefined symbol " ^ name)
+
+(** Assemble [items] at the next code address, write the bytes into
+    emulated memory and return the entry address.  If [name] is given
+    the address is also recorded in the symbol table. *)
+let install_code ?name t (items : Insn.item list) =
+  let base = align_up t.next_code 16 in
+  let bytes, _, _ = Encode.assemble ~base items in
+  Mem.write_bytes t.cpu.Cpu.mem base bytes;
+  t.next_code <- base + String.length bytes;
+  Cpu.flush_code t.cpu;
+  (match name with Some n -> define t n base | None -> ());
+  base
+
+(** Raw code bytes (e.g. produced by re-encoding a DBrew result). *)
+let install_bytes ?name t (bytes : string) =
+  let base = align_up t.next_code 16 in
+  Mem.write_bytes t.cpu.Cpu.mem base bytes;
+  t.next_code <- base + String.length bytes;
+  Cpu.flush_code t.cpu;
+  (match name with Some n -> define t n base | None -> ());
+  base
+
+(** Store a list of doubles into fresh data memory; returns address. *)
+let alloc_f64_array ?(align = 16) t (vs : float array) =
+  let a = alloc_data ~align t (8 * Array.length vs) in
+  Array.iteri (fun i v -> Mem.write_f64 t.cpu.Cpu.mem (a + (8 * i)) v) vs;
+  a
+
+(** Store 64-bit integers into fresh data memory; returns address. *)
+let alloc_i64_array ?(align = 16) t (vs : int64 array) =
+  let a = alloc_data ~align t (8 * Array.length vs) in
+  Array.iteri (fun i v -> Mem.write_u64 t.cpu.Cpu.mem (a + (8 * i)) v) vs;
+  a
+
+(** Disassemble [n] instructions starting at [addr] (for code dumps). *)
+let disassemble t addr n =
+  let read = Mem.read_u8 t.cpu.Cpu.mem in
+  let rec go a k acc =
+    if k = 0 then List.rev acc
+    else
+      let i, len = Decode.decode ~read a in
+      go (a + len) (k - 1) ((a, i) :: acc)
+  in
+  go addr n []
+
+(** Disassemble from [addr] until (and including) the first [ret]. *)
+let disassemble_fn t addr =
+  let read = Mem.read_u8 t.cpu.Cpu.mem in
+  let rec go a acc =
+    let i, len = Decode.decode ~read a in
+    let acc = (a, i) :: acc in
+    match i with
+    | Insn.Ret -> List.rev acc
+    | _ -> go (a + len) acc
+  in
+  go addr []
+
+let call ?args ?fargs ?max_steps t ~fn =
+  Cpu.call ?args ?fargs ?max_steps t.cpu ~fn
+
+(** Run [f] and report the cycle/instruction counts it consumed. *)
+let measure t f =
+  let c0 = t.cpu.Cpu.cycles and i0 = t.cpu.Cpu.icount in
+  let r = f () in
+  (r, t.cpu.Cpu.cycles - c0, t.cpu.Cpu.icount - i0)

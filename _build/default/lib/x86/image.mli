@@ -1,0 +1,57 @@
+(** Virtual address-space layout on top of a {!Cpu.t}: a bump allocator
+    for code and data, a symbol table, stack setup, code installation
+    and disassembly.  Plays the role of the process image and JIT
+    memory manager. *)
+
+type t = {
+  cpu : Cpu.t;
+  mutable next_code : int;
+  mutable next_data : int;
+  symbols : (string, int) Hashtbl.t;
+  mutable stack_top : int;
+}
+
+val code_base : int
+val data_base : int
+val stack_base : int
+val stack_size : int
+
+(** Fresh image with an empty address space and the stack pointer set. *)
+val create : ?cost:Cost.t -> unit -> t
+
+(** Reserve [size] zeroed data bytes with the given alignment. *)
+val alloc_data : ?align:int -> t -> int -> int
+
+(** Reset the stack pointer (between independent runs). *)
+val reset_stack : t -> unit
+
+(** Symbol table. [lookup] raises [Invalid_argument] on misses. *)
+val define : t -> string -> int -> unit
+val lookup : t -> string -> int
+
+(** Assemble [items] at the next code address, write the machine-code
+    bytes into emulated memory, flush the decode cache and return the
+    entry address (recorded under [name] if given). *)
+val install_code : ?name:string -> t -> Insn.item list -> int
+
+(** Install raw machine-code bytes. *)
+val install_bytes : ?name:string -> t -> string -> int
+
+(** Write float / int64 arrays into fresh data memory. *)
+val alloc_f64_array : ?align:int -> t -> float array -> int
+val alloc_i64_array : ?align:int -> t -> int64 array -> int
+
+(** Disassemble [n] instructions from [addr]. *)
+val disassemble : t -> int -> int -> (int * Insn.insn) list
+
+(** Disassemble from [addr] up to and including the first [ret]. *)
+val disassemble_fn : t -> int -> (int * Insn.insn) list
+
+(** Call the function at [fn] per the System V ABI (integer args in
+    rdi..., float args in xmm0...); returns (rax, xmm0 as float). *)
+val call :
+  ?args:int64 list -> ?fargs:float list -> ?max_steps:int ->
+  t -> fn:int -> int64 * float
+
+(** Run [f] and report (result, cycles consumed, instructions executed). *)
+val measure : t -> (unit -> 'a) -> 'a * int * int

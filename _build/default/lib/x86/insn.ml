@@ -1,0 +1,199 @@
+(** Abstract syntax for the x86-64 subset handled by the whole stack:
+    encoder, decoder, emulator, DBrew rewriter and the IR lifter.
+
+    The subset is what common C compilers emit for integer and SSE
+    floating point code under the System V ABI: data movement, ALU and
+    shift operations in 8/16/32/64-bit widths, lea, imul, idiv,
+    push/pop, direct and indirect calls/jumps, conditional
+    jumps/moves/sets, and scalar/packed SSE arithmetic.  AVX is
+    deliberately out of scope, exactly as in the paper. *)
+
+type width = W8 | W16 | W32 | W64
+
+let width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+let width_bits w = 8 * width_bytes w
+
+type scale = S1 | S2 | S4 | S8
+
+let scale_factor = function S1 -> 1 | S2 -> 2 | S4 -> 4 | S8 -> 8
+let scale_of_int = function
+  | 1 -> S1 | 2 -> S2 | 4 -> S4 | 8 -> S8
+  | n -> invalid_arg (Printf.sprintf "scale_of_int %d" n)
+
+type segment = FS | GS
+
+(** [base + index*scale + disp], optionally segment-relative. *)
+type mem_addr = {
+  base : Reg.gpr option;
+  index : (Reg.gpr * scale) option; (* index must not be RSP *)
+  disp : int;                       (* signed, fits in 32 bits *)
+  seg : segment option;
+}
+
+let mk_mem ?base ?index ?(disp = 0) ?seg () = { base; index; disp; seg }
+let mem_abs disp = mk_mem ~disp ()
+let mem_base ?(disp = 0) base = mk_mem ~base ~disp ()
+let mem_bi ?(disp = 0) base index scale =
+  mk_mem ~base ~index:(index, scale) ~disp ()
+
+(** Operand of an instruction; the operand width is carried by the
+    instruction itself.  [OReg8H] denotes the legacy high-byte
+    registers ah/ch/dh/bh, only meaningful for 8-bit operations on
+    rax/rcx/rdx/rbx. *)
+type operand =
+  | OReg of Reg.gpr
+  | OReg8H of Reg.gpr
+  | OMem of mem_addr
+  | OImm of int64
+
+(** Branch/call target: decoded instructions carry absolute virtual
+    addresses; freshly generated code refers to labels resolved by
+    {!Encode.assemble}. *)
+type target = Abs of int | Lbl of int
+
+type cc =
+  | O | NO | B | AE | E | NE | BE | A
+  | S | NS | P | NP | L | GE | LE | G
+
+let cc_index = function
+  | O -> 0 | NO -> 1 | B -> 2 | AE -> 3 | E -> 4 | NE -> 5 | BE -> 6 | A -> 7
+  | S -> 8 | NS -> 9 | P -> 10 | NP -> 11 | L -> 12 | GE -> 13 | LE -> 14
+  | G -> 15
+
+let cc_of_index = function
+  | 0 -> O | 1 -> NO | 2 -> B | 3 -> AE | 4 -> E | 5 -> NE | 6 -> BE | 7 -> A
+  | 8 -> S | 9 -> NS | 10 -> P | 11 -> NP | 12 -> L | 13 -> GE | 14 -> LE
+  | 15 -> G
+  | n -> invalid_arg (Printf.sprintf "cc_of_index %d" n)
+
+let cc_negate c = cc_of_index (cc_index c lxor 1)
+
+let cc_name = function
+  | O -> "o" | NO -> "no" | B -> "b" | AE -> "ae" | E -> "e" | NE -> "ne"
+  | BE -> "be" | A -> "a" | S -> "s" | NS -> "ns" | P -> "p" | NP -> "np"
+  | L -> "l" | GE -> "ge" | LE -> "le" | G -> "g"
+
+type alu = Add | Sub | And | Or | Xor | Cmp | Adc | Sbb
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or"
+  | Xor -> "xor" | Cmp -> "cmp" | Adc -> "adc" | Sbb -> "sbb"
+
+(* /digit used in the 0x81/0x83 opcode group *)
+let alu_digit = function
+  | Add -> 0 | Or -> 1 | Adc -> 2 | Sbb -> 3
+  | And -> 4 | Sub -> 5 | Xor -> 6 | Cmp -> 7
+
+let alu_of_digit = function
+  | 0 -> Add | 1 -> Or | 2 -> Adc | 3 -> Sbb
+  | 4 -> And | 5 -> Sub | 6 -> Xor | 7 -> Cmp
+  | n -> invalid_arg (Printf.sprintf "alu_of_digit %d" n)
+
+type shift = Shl | Shr | Sar
+
+let shift_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+let shift_digit = function Shl -> 4 | Shr -> 5 | Sar -> 7
+
+type unop = Neg | Not | Inc | Dec
+
+let unop_name = function
+  | Neg -> "neg" | Not -> "not" | Inc -> "inc" | Dec -> "dec"
+
+type shift_count = ShImm of int | ShCl
+
+(** Floating point precision of an SSE operation. *)
+type fp_prec = Sd | Ss | Pd | Ps
+
+let prec_name = function Sd -> "sd" | Ss -> "ss" | Pd -> "pd" | Ps -> "ps"
+let prec_scalar = function Sd | Ss -> true | Pd | Ps -> false
+let prec_double = function Sd | Pd -> true | Ss | Ps -> false
+
+type fp_arith = FAdd | FSub | FMul | FDiv | FMin | FMax | FSqrt
+
+let fp_arith_name = function
+  | FAdd -> "add" | FSub -> "sub" | FMul -> "mul" | FDiv -> "div"
+  | FMin -> "min" | FMax -> "max" | FSqrt -> "sqrt"
+
+(** Bitwise SSE operations (operate on the full 128 bits). *)
+type sse_logic = Pxor | Pand | Por | Xorps | Xorpd | Andps | Andpd
+
+let sse_logic_name = function
+  | Pxor -> "pxor" | Pand -> "pand" | Por -> "por"
+  | Xorps -> "xorps" | Xorpd -> "xorpd" | Andps -> "andps" | Andpd -> "andpd"
+
+(** SSE register or memory operand. *)
+type xop = Xr of Reg.xmm | Xm of mem_addr
+
+(** SSE data movement flavours.  The semantic subtleties (upper-part
+    preservation vs zeroing) that Sec. III-C of the paper discusses:
+    - [Movsd]/[Movss] xmm,xmm preserve the untouched upper part;
+      loading from memory zeroes it.
+    - [Movq] (xmm,xmm or xmm,m64) zeroes the upper 64 bits.
+    - full-width moves ([Movups]/[Movaps]/[Movupd]/[Movapd]/[Movdqa]/
+      [Movdqu]) replace all 128 bits. *)
+type sse_mov =
+  | Movss | Movsd | Movups | Movaps | Movupd | Movapd | Movdqa | Movdqu
+  | Movq
+
+let sse_mov_name = function
+  | Movss -> "movss" | Movsd -> "movsd" | Movups -> "movups"
+  | Movaps -> "movaps" | Movupd -> "movupd" | Movapd -> "movapd"
+  | Movdqa -> "movdqa" | Movdqu -> "movdqu" | Movq -> "movq"
+
+type insn =
+  (* data movement *)
+  | Mov of width * operand * operand   (* dst, src; not both OMem *)
+  | Movabs of Reg.gpr * int64          (* mov r64, imm64 *)
+  | Movzx of width * Reg.gpr * width * operand (* dstw, dst, srcw, src *)
+  | Movsx of width * Reg.gpr * width * operand
+  | Lea of Reg.gpr * mem_addr
+  (* integer arithmetic *)
+  | Alu of alu * width * operand * operand (* dst, src *)
+  | Test of width * operand * operand
+  | Imul2 of width * Reg.gpr * operand
+  | Imul3 of width * Reg.gpr * operand * int64
+  | Idiv of width * operand            (* rdx:rax / src *)
+  | Cqo                                 (* sign-extend rax into rdx *)
+  | Cdq
+  | Shift of shift * width * operand * shift_count
+  | Unop of unop * width * operand
+  (* stack *)
+  | Push of operand
+  | Pop of operand
+  | Leave
+  (* control flow *)
+  | Call of target
+  | CallInd of operand
+  | Ret
+  | Jmp of target
+  | JmpInd of operand
+  | Jcc of cc * target
+  | Cmov of cc * width * Reg.gpr * operand (* width W16/W32/W64 *)
+  | Setcc of cc * operand              (* 8-bit destination *)
+  (* SSE data movement *)
+  | SseMov of sse_mov * xop * xop      (* dst, src; not both Xm *)
+  | MovqXR of Reg.xmm * Reg.gpr        (* movq xmm, r64 *)
+  | MovqRX of Reg.gpr * Reg.xmm        (* movq r64, xmm *)
+  (* SSE arithmetic *)
+  | SseArith of fp_arith * fp_prec * Reg.xmm * xop
+  | SseLogic of sse_logic * Reg.xmm * xop
+  | Ucomis of fp_prec * Reg.xmm * xop  (* Sd or Ss only *)
+  | Cvtsi2sd of Reg.xmm * width * operand (* W32/W64 integer source *)
+  | Cvttsd2si of Reg.gpr * width * xop
+  | Cvtsd2ss of Reg.xmm * xop
+  | Cvtss2sd of Reg.xmm * xop
+  | Unpcklpd of Reg.xmm * xop
+  | Shufpd of Reg.xmm * xop * int
+  | Padd of width * Reg.xmm * xop      (* paddd / paddq *)
+  (* misc *)
+  | Nop of int                          (* multi-byte nop, 1..9 *)
+  | Ud2
+  | Int3
+
+(** Assembly item: generated code interleaves labels and instructions;
+    [Encode.assemble] resolves [Lbl] targets against [L] positions. *)
+type item = L of int | I of insn
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt

@@ -1,0 +1,92 @@
+(** Sparse paged byte-addressable memory for the emulated address
+    space.  Little-endian, 4 KiB pages, allocated on first touch. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_idx : int;
+  mutable last_page : Bytes.t;
+}
+
+let create () =
+  let p0 = Bytes.make page_size '\000' in
+  let pages = Hashtbl.create 64 in
+  Hashtbl.replace pages 0 p0;
+  { pages; last_idx = 0; last_page = p0 }
+
+let page t idx =
+  if idx = t.last_idx then t.last_page
+  else begin
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+        let p = Bytes.make page_size '\000' in
+        Hashtbl.replace t.pages idx p;
+        p
+    in
+    t.last_idx <- idx;
+    t.last_page <- p;
+    p
+  end
+
+let read_u8 t a = Char.code (Bytes.get (page t (a lsr page_bits)) (a land page_mask))
+let write_u8 t a v =
+  Bytes.set (page t (a lsr page_bits)) (a land page_mask)
+    (Char.chr (v land 0xff))
+
+let read_u64 t a =
+  let off = a land page_mask in
+  if off <= page_size - 8 then
+    Bytes.get_int64_le (page t (a lsr page_bits)) off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_u8 t (a + i)))
+    done;
+    !v
+  end
+
+let write_u64 t a (v : int64) =
+  let off = a land page_mask in
+  if off <= page_size - 8 then
+    Bytes.set_int64_le (page t (a lsr page_bits)) off v
+  else
+    for i = 0 to 7 do
+      write_u8 t (a + i)
+        (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    done
+
+let read_u32 t a =
+  let off = a land page_mask in
+  if off <= page_size - 4 then
+    Int32.to_int (Bytes.get_int32_le (page t (a lsr page_bits)) off)
+    land 0xFFFFFFFF
+  else
+    read_u8 t a lor (read_u8 t (a + 1) lsl 8) lor (read_u8 t (a + 2) lsl 16)
+    lor (read_u8 t (a + 3) lsl 24)
+
+let write_u32 t a v =
+  let off = a land page_mask in
+  if off <= page_size - 4 then
+    Bytes.set_int32_le (page t (a lsr page_bits)) off (Int32.of_int v)
+  else
+    for i = 0 to 3 do
+      write_u8 t (a + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let read_u16 t a = read_u8 t a lor (read_u8 t (a + 1) lsl 8)
+let write_u16 t a v =
+  write_u8 t a (v land 0xff);
+  write_u8 t (a + 1) ((v lsr 8) land 0xff)
+
+let read_f64 t a = Int64.float_of_bits (read_u64 t a)
+let write_f64 t a v = write_u64 t a (Int64.bits_of_float v)
+
+let write_bytes t a (s : string) =
+  String.iteri (fun i c -> write_u8 t (a + i) (Char.code c)) s
+
+let read_bytes t a len = String.init len (fun i -> Char.chr (read_u8 t (a + i)))

@@ -1,0 +1,133 @@
+(** Intel-syntax pretty printing of decoded instructions, used by the
+    Fig. 8 code dumps and all debugging output. *)
+
+open Insn
+
+let gpr_name w r =
+  match w with
+  | W8 -> Reg.name8 r
+  | W16 -> Reg.name16 r
+  | W32 -> Reg.name32 r
+  | W64 -> Reg.name64 r
+
+let ptr_prefix = function
+  | W8 -> "byte ptr " | W16 -> "word ptr " | W32 -> "dword ptr "
+  | W64 -> "qword ptr "
+
+let mem_addr (m : mem_addr) =
+  let buf = Buffer.create 16 in
+  (match m.seg with
+   | Some FS -> Buffer.add_string buf "fs:"
+   | Some GS -> Buffer.add_string buf "gs:"
+   | None -> ());
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let plus () = if !first then first := false else Buffer.add_string buf " + " in
+  (match m.base with
+   | Some b -> plus (); Buffer.add_string buf (Reg.name64 b)
+   | None -> ());
+  (match m.index with
+   | Some (i, s) ->
+     plus ();
+     if s = S1 then Buffer.add_string buf (Reg.name64 i)
+     else
+       Buffer.add_string buf
+         (Printf.sprintf "%d * %s" (scale_factor s) (Reg.name64 i))
+   | None -> ());
+  if m.disp <> 0 || !first then begin
+    if !first then Buffer.add_string buf (Printf.sprintf "0x%x" m.disp)
+    else if m.disp < 0 then
+      Buffer.add_string buf (Printf.sprintf " - 0x%x" (-m.disp))
+    else Buffer.add_string buf (Printf.sprintf " + 0x%x" m.disp)
+  end;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let operand ?(ptr = true) w = function
+  | OReg r -> gpr_name w r
+  | OReg8H r -> Reg.name8h r
+  | OMem m -> (if ptr then ptr_prefix w else "") ^ mem_addr m
+  | OImm i ->
+    if Int64.compare i 0L >= 0 && Int64.compare i 10L < 0 then
+      Int64.to_string i
+    else Printf.sprintf "0x%Lx" i
+
+let xop = function Xr x -> Reg.xmm_name x | Xm m -> mem_addr m
+
+let target = function
+  | Abs a -> Printf.sprintf "0x%x" a
+  | Lbl l -> Printf.sprintf ".L%d" l
+
+let two a b = a ^ ", " ^ b
+
+let insn (i : insn) =
+  match i with
+  | Mov (w, d, s) -> "mov " ^ two (operand w d) (operand w s)
+  | Movabs (r, v) -> Printf.sprintf "movabs %s, 0x%Lx" (Reg.name64 r) v
+  | Movzx (dw, d, sw, s) ->
+    "movzx " ^ two (gpr_name dw d) (operand sw s)
+  | Movsx (dw, d, sw, s) ->
+    (if sw = W32 then "movsxd " else "movsx ")
+    ^ two (gpr_name dw d) (operand sw s)
+  | Lea (r, m) -> "lea " ^ two (Reg.name64 r) (mem_addr m)
+  | Alu (op, w, d, s) -> alu_name op ^ " " ^ two (operand w d) (operand w s)
+  | Test (w, d, s) -> "test " ^ two (operand w d) (operand w s)
+  | Imul2 (w, d, s) -> "imul " ^ two (gpr_name w d) (operand w s)
+  | Imul3 (w, d, s, im) ->
+    Printf.sprintf "imul %s, %s, %Ld" (gpr_name w d) (operand w s) im
+  | Idiv (w, s) -> "idiv " ^ operand w s
+  | Cqo -> "cqo"
+  | Cdq -> "cdq"
+  | Shift (op, w, d, c) ->
+    let cs = match c with ShImm n -> string_of_int n | ShCl -> "cl" in
+    shift_name op ^ " " ^ two (operand w d) cs
+  | Unop (op, w, d) -> unop_name op ^ " " ^ operand w d
+  | Push o -> "push " ^ operand W64 o
+  | Pop o -> "pop " ^ operand W64 o
+  | Leave -> "leave"
+  | Call t -> "call " ^ target t
+  | CallInd o -> "call " ^ operand W64 o
+  | Ret -> "ret"
+  | Jmp t -> "jmp " ^ target t
+  | JmpInd o -> "jmp " ^ operand W64 o
+  | Jcc (c, t) -> "j" ^ cc_name c ^ " " ^ target t
+  | Cmov (c, w, d, s) ->
+    "cmov" ^ cc_name c ^ " " ^ two (gpr_name w d) (operand w s)
+  | Setcc (c, d) -> "set" ^ cc_name c ^ " " ^ operand W8 d
+  | SseMov (k, d, s) -> sse_mov_name k ^ " " ^ two (xop d) (xop s)
+  | MovqXR (x, r) -> "movq " ^ two (Reg.xmm_name x) (Reg.name64 r)
+  | MovqRX (r, x) -> "movq " ^ two (Reg.name64 r) (Reg.xmm_name x)
+  | SseArith (op, p, d, s) ->
+    fp_arith_name op ^ prec_name p ^ " " ^ two (Reg.xmm_name d) (xop s)
+  | SseLogic (op, d, s) ->
+    sse_logic_name op ^ " " ^ two (Reg.xmm_name d) (xop s)
+  | Ucomis (p, d, s) ->
+    "ucomis" ^ prec_name p ^ " " ^ two (Reg.xmm_name d) (xop s)
+  | Cvtsi2sd (x, w, s) ->
+    "cvtsi2sd " ^ two (Reg.xmm_name x) (operand w s)
+  | Cvttsd2si (r, w, s) -> "cvttsd2si " ^ two (gpr_name w r) (xop s)
+  | Cvtsd2ss (x, s) -> "cvtsd2ss " ^ two (Reg.xmm_name x) (xop s)
+  | Cvtss2sd (x, s) -> "cvtss2sd " ^ two (Reg.xmm_name x) (xop s)
+  | Unpcklpd (x, s) -> "unpcklpd " ^ two (Reg.xmm_name x) (xop s)
+  | Shufpd (x, s, im) ->
+    Printf.sprintf "shufpd %s, %s, %d" (Reg.xmm_name x) (xop s) im
+  | Padd (w, x, s) ->
+    (match w with W32 -> "paddd " | _ -> "paddq ")
+    ^ two (Reg.xmm_name x) (xop s)
+  | Nop _ -> "nop"
+  | Ud2 -> "ud2"
+  | Int3 -> "int3"
+
+let item = function
+  | L l -> Printf.sprintf ".L%d:" l
+  | I i -> "  " ^ insn i
+
+let items is = String.concat "\n" (List.map item is)
+
+let listing ?(addrs = true) (l : (int * insn) list) =
+  String.concat "\n"
+    (List.map
+       (fun (a, i) ->
+         if addrs then Printf.sprintf "%8x:  %s" a (insn i)
+         else "  " ^ insn i)
+       l)

@@ -1,0 +1,60 @@
+(** General purpose registers of x86-64, in hardware encoding order. *)
+
+type gpr =
+  | RAX | RCX | RDX | RBX | RSP | RBP | RSI | RDI
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+let all_gprs =
+  [ RAX; RCX; RDX; RBX; RSP; RBP; RSI; RDI;
+    R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let index = function
+  | RAX -> 0 | RCX -> 1 | RDX -> 2 | RBX -> 3
+  | RSP -> 4 | RBP -> 5 | RSI -> 6 | RDI -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let of_index = function
+  | 0 -> RAX | 1 -> RCX | 2 -> RDX | 3 -> RBX
+  | 4 -> RSP | 5 -> RBP | 6 -> RSI | 7 -> RDI
+  | 8 -> R8 | 9 -> R9 | 10 -> R10 | 11 -> R11
+  | 12 -> R12 | 13 -> R13 | 14 -> R14 | 15 -> R15
+  | n -> invalid_arg (Printf.sprintf "Reg.of_index %d" n)
+
+let equal (a : gpr) (b : gpr) = a = b
+let compare (a : gpr) (b : gpr) = Stdlib.compare (index a) (index b)
+
+let name64 = function
+  | RAX -> "rax" | RCX -> "rcx" | RDX -> "rdx" | RBX -> "rbx"
+  | RSP -> "rsp" | RBP -> "rbp" | RSI -> "rsi" | RDI -> "rdi"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+let name32 = function
+  | RAX -> "eax" | RCX -> "ecx" | RDX -> "edx" | RBX -> "ebx"
+  | RSP -> "esp" | RBP -> "ebp" | RSI -> "esi" | RDI -> "edi"
+  | r -> name64 r ^ "d"
+
+let name16 = function
+  | RAX -> "ax" | RCX -> "cx" | RDX -> "dx" | RBX -> "bx"
+  | RSP -> "sp" | RBP -> "bp" | RSI -> "si" | RDI -> "di"
+  | r -> name64 r ^ "w"
+
+let name8 = function
+  | RAX -> "al" | RCX -> "cl" | RDX -> "dl" | RBX -> "bl"
+  | RSP -> "spl" | RBP -> "bpl" | RSI -> "sil" | RDI -> "dil"
+  | r -> name64 r ^ "b"
+
+let name8h = function
+  | RAX -> "ah" | RCX -> "ch" | RDX -> "dh" | RBX -> "bh"
+  | r -> invalid_arg ("Reg.name8h: no high-byte form of " ^ name64 r)
+
+(* System V AMD64 ABI *)
+let arg_regs = [ RDI; RSI; RDX; RCX; R8; R9 ]
+let callee_saved = [ RBX; RBP; R12; R13; R14; R15 ]
+let caller_saved = [ RAX; RCX; RDX; RSI; RDI; R8; R9; R10; R11 ]
+
+(** SSE registers are identified by their hardware index 0..15. *)
+type xmm = int
+
+let xmm_name (x : xmm) = Printf.sprintf "xmm%d" x

@@ -1,0 +1,1 @@
+test/test_dbrew.ml: Alcotest Api Cpu Image Insn Int64 List Mem Obrew_backend Obrew_dbrew Obrew_ir Obrew_lifter Obrew_opt Obrew_x86 Pp Printf QCheck2 QCheck_alcotest Reg String

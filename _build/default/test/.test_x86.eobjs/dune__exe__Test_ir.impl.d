@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Dom Ins Interp List Obrew_ir Obrew_x86 Pp_ir String Verify

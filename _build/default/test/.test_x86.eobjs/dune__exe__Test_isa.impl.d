@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Char Cost Decode Encode Float Image Insn Int64 List Mem Obrew_x86 Pp Printf Reg String

@@ -1,0 +1,1 @@
+test/test_lifter.ml: Alcotest Cpu Image Ins Insn Int64 Interp Lift List Mem Obrew_ir Obrew_lifter Obrew_opt Obrew_x86 Pipeline Pp Pp_ir Printf QCheck2 QCheck_alcotest Reg String Verify

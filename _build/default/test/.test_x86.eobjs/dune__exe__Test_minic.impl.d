@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Ast Float Image Int64 Interp Jit List Lower Mem Obrew_backend Obrew_ir Obrew_minic Obrew_opt Obrew_x86 Pipeline Printf String Verify

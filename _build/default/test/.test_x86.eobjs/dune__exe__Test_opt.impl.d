@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Cfg Ins Int64 Interp Licm List Obrew_backend Obrew_ir Obrew_opt Obrew_x86 Pipeline Pp_ir Printf QCheck2 QCheck_alcotest Verify

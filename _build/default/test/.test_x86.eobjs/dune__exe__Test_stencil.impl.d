@@ -1,0 +1,1 @@
+test/test_stencil.ml: Alcotest Array Float Lazy List Modes Obrew_core Obrew_stencil Printf

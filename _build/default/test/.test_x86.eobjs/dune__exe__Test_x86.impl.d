@@ -1,0 +1,1 @@
+test/test_x86.ml: Alcotest Char Decode Encode Hashtbl Image Insn Int64 List Obrew_x86 Pp Printf QCheck2 QCheck_alcotest Reg String

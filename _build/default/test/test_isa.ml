@@ -1,0 +1,259 @@
+(* Additional x86 substrate tests: the cost model, paged memory edge
+   cases, decoder robustness, condition-code algebra and disassembly
+   helpers. *)
+
+open Obrew_x86
+open Insn
+
+let check = Alcotest.check
+let cint = Alcotest.int
+let ci64 = Alcotest.int64
+
+(* ---------- condition codes ---------- *)
+
+let test_cc_negate_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (cc_name c ^ " double negation")
+        true
+        (cc_negate (cc_negate c) = c))
+    [ O; NO; B; AE; E; NE; BE; A; S; NS; P; NP; L; GE; LE; G ]
+
+let test_cc_negate_semantics () =
+  (* negated cc must evaluate to the opposite on the emulator *)
+  let img = Image.create () in
+  List.iter
+    (fun c ->
+      let mk cc =
+        Image.install_code img
+          [ I (Alu (Cmp, W64, OReg Reg.RDI, OReg Reg.RSI));
+            I (Setcc (cc, OReg Reg.RAX));
+            I (Movzx (W64, Reg.RAX, W8, OReg Reg.RAX));
+            I Ret ]
+      in
+      let f1 = mk c and f2 = mk (cc_negate c) in
+      List.iter
+        (fun (a, b) ->
+          let r1, _ = Image.call img ~fn:f1 ~args:[ a; b ] in
+          let r2, _ = Image.call img ~fn:f2 ~args:[ a; b ] in
+          check ci64
+            (Printf.sprintf "%s(%Ld,%Ld) = !%s" (cc_name c) a b
+               (cc_name (cc_negate c)))
+            1L (Int64.add r1 r2))
+        [ (1L, 2L); (2L, 1L); (5L, 5L); (-3L, 3L); (3L, -3L) ])
+    [ B; AE; E; NE; BE; A; S; NS; L; GE; LE; G ]
+
+(* ---------- memory ---------- *)
+
+let test_mem_page_crossing () =
+  let m = Mem.create () in
+  (* a u64 write straddling a 4 KiB page boundary *)
+  let a = 4096 - 3 in
+  Mem.write_u64 m a 0x1122334455667788L;
+  check ci64 "page-crossing u64" 0x1122334455667788L (Mem.read_u64 m a);
+  check cint "byte before boundary" 0x66 (Mem.read_u8 m 4095);
+  check cint "byte after boundary" 0x55 (Mem.read_u8 m 4096);
+  (* u32 crossing *)
+  let b = 8192 - 2 in
+  Mem.write_u32 m b 0xAABBCCDD;
+  check cint "page-crossing u32" 0xAABBCCDD (Mem.read_u32 m b)
+
+let test_mem_f64_roundtrip () =
+  let m = Mem.create () in
+  List.iter
+    (fun v ->
+      Mem.write_f64 m 0x100 v;
+      let r = Mem.read_f64 m 0x100 in
+      Alcotest.(check bool) (string_of_float v) true
+        (Int64.bits_of_float v = Int64.bits_of_float r))
+    [ 0.0; -0.0; 1.5; -3.25; infinity; neg_infinity; Float.nan; 1e-300 ]
+
+let test_mem_bytes_roundtrip () =
+  let m = Mem.create () in
+  let s = String.init 100 (fun i -> Char.chr (i * 7 mod 256)) in
+  Mem.write_bytes m 5000 s;
+  check Alcotest.string "blob" s (Mem.read_bytes m 5000 100)
+
+(* ---------- cost model ---------- *)
+
+let test_cost_ordering () =
+  let c = Cost.default in
+  let cost i = Cost.insn_cost c i in
+  (* sanity orderings the benchmarks depend on *)
+  Alcotest.(check bool) "mul > add" true
+    (cost (Imul2 (W64, Reg.RAX, OReg Reg.RCX))
+     > cost (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RCX)));
+  Alcotest.(check bool) "div most expensive" true
+    (cost (Idiv (W64, OReg Reg.RCX)) > cost (Imul2 (W64, Reg.RAX, OReg Reg.RCX)));
+  Alcotest.(check bool) "memory op > register op" true
+    (cost (Mov (W64, OReg Reg.RAX, OMem (mem_base Reg.RSI)))
+     > cost (Mov (W64, OReg Reg.RAX, OReg Reg.RSI)));
+  Alcotest.(check bool) "fp mul > fp add" true
+    (cost (SseArith (FMul, Sd, 0, Xr 1)) > cost (SseArith (FAdd, Sd, 0, Xr 1)));
+  Alcotest.(check bool) "rmw = load + store + op" true
+    (cost (Alu (Add, W64, OMem (mem_base Reg.RSI), OReg Reg.RAX))
+     >= cost (Alu (Add, W64, OReg Reg.RAX, OMem (mem_base Reg.RSI))))
+
+let test_unaligned_penalty () =
+  (* the same packed loop on aligned vs misaligned data costs more
+     cycles when misaligned — the basis of the Sec. VI-B experiment *)
+  let img = Image.create () in
+  let a = Image.alloc_f64_array ~align:16 img (Array.make 64 1.0) in
+  let fn =
+    Image.install_code img
+      [ I (Alu (Xor, W32, OReg Reg.RAX, OReg Reg.RAX));
+        L 0;
+        I (SseMov (Movupd, Xr 0, Xm (mem_bi Reg.RDI Reg.RAX S8)));
+        I (SseArith (FAdd, Pd, 1, Xr 0));
+        I (Alu (Add, W64, OReg Reg.RAX, OImm 2L));
+        I (Alu (Cmp, W64, OReg Reg.RAX, OImm 32L));
+        I (Jcc (NE, Lbl 0));
+        I Ret ]
+  in
+  let run base =
+    Image.reset_stack img;
+    let _, cycles, _ =
+      Image.measure img (fun () ->
+          Image.call img ~fn ~args:[ Int64.of_int base ])
+    in
+    cycles
+  in
+  let aligned = run a in
+  let misaligned = run (a + 8) in
+  Alcotest.(check bool)
+    (Printf.sprintf "misaligned (%d) > aligned (%d)" misaligned aligned)
+    true (misaligned > aligned)
+
+let test_branch_cost_direction () =
+  (* taken branches cost more than fall-through *)
+  let img = Image.create () in
+  let taken =
+    Image.install_code img
+      [ I (Test (W64, OReg Reg.RDI, OReg Reg.RDI));
+        I (Jcc (E, Lbl 0)); (* rdi = 0: taken *)
+        I (Nop 1);
+        L 0;
+        I Ret ]
+  in
+  let count arg =
+    Image.reset_stack img;
+    let _, cycles, _ =
+      Image.measure img (fun () -> Image.call img ~fn:taken ~args:[ arg ])
+    in
+    cycles
+  in
+  Alcotest.(check bool) "taken >= not taken" true (count 0L >= count 1L - 1)
+
+(* ---------- decoder robustness ---------- *)
+
+let test_decode_rejects_garbage () =
+  let cases = [ [ 0x06 ]; [ 0x0f; 0x05 ]; [ 0xd7 ] ] in
+  List.iter
+    (fun bytes ->
+      let read i = try List.nth bytes i with _ -> 0x90 in
+      match Decode.decode ~read 0 with
+      | exception Decode.Decode_error _ -> ()
+      | i, _ ->
+        Alcotest.failf "garbage decoded as %s" (Pp.insn i))
+    cases
+
+let test_decode_rel8_forms () =
+  (* short jumps (not produced by our encoder) still decode *)
+  let prog = [ 0xeb; 0x05 ] in (* jmp +5 *)
+  let read base i = try List.nth prog (i - base) with _ -> 0x90 in
+  (match Decode.decode ~read:(read 0x100) 0x100 with
+   | Jmp (Abs t), 2 -> check cint "jmp rel8 target" 0x107 t
+   | i, _ -> Alcotest.failf "unexpected %s" (Pp.insn i));
+  let prog2 = [ 0x74; 0xfe ] in (* je -2 = self *)
+  let read2 i = try List.nth prog2 (i - 0x200) with _ -> 0x90 in
+  (match Decode.decode ~read:read2 0x200 with
+   | Jcc (E, Abs t), 2 -> check cint "jcc rel8 target" 0x200 t
+   | i, _ -> Alcotest.failf "unexpected %s" (Pp.insn i))
+
+let test_decode_b8_mov () =
+  (* b8+r mov r32, imm32 (GCC-style) *)
+  let prog = [ 0xb8; 0x2a; 0x00; 0x00; 0x00 ] in
+  let read i = try List.nth prog i with _ -> 0x90 in
+  match Decode.decode ~read 0 with
+  | Mov (W32, OReg Reg.RAX, OImm 42L), 5 -> ()
+  | i, _ -> Alcotest.failf "unexpected %s" (Pp.insn i)
+
+(* ---------- image helpers ---------- *)
+
+let test_image_symbols () =
+  let img = Image.create () in
+  let a = Image.install_code ~name:"f" img [ I Ret ] in
+  check cint "lookup" a (Image.lookup img "f");
+  (match Image.lookup img "missing" with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "expected lookup failure")
+
+let test_image_alignment () =
+  let img = Image.create () in
+  let a = Image.alloc_data ~align:64 img 10 in
+  check cint "aligned" 0 (a land 63);
+  let b = Image.alloc_data ~align:16 img 1 in
+  check cint "aligned 16" 0 (b land 15);
+  Alcotest.(check bool) "no overlap" true (b >= a + 10)
+
+let test_disassemble_fn_stops_at_ret () =
+  let img = Image.create () in
+  let fn =
+    Image.install_code img
+      [ I (Nop 1); I Ret; I Ud2 (* must not be listed *) ]
+  in
+  let l = Image.disassemble_fn img fn in
+  check cint "two instructions" 2 (List.length l)
+
+(* ---------- encoder edge cases ---------- *)
+
+let test_encode_disp_sizes () =
+  (* disp8 vs disp32 encodings round-trip at the boundary *)
+  List.iter
+    (fun disp ->
+      let i = Mov (W64, OReg Reg.RAX, OMem (mem_base ~disp Reg.RSI)) in
+      let bytes = Encode.encode_at ~addr:0 i in
+      let read p = if p < String.length bytes then Char.code bytes.[p] else 0x90 in
+      let j, len = Decode.decode ~read 0 in
+      check cint "length" (String.length bytes) len;
+      check Alcotest.string "roundtrip" (Pp.insn i) (Pp.insn j))
+    [ -129; -128; -1; 0; 1; 127; 128; 100000; -100000 ]
+
+let test_encode_rbp_r13_base () =
+  (* rbp/r13 as base require an explicit displacement byte *)
+  List.iter
+    (fun base ->
+      let i = Mov (W64, OReg Reg.RAX, OMem (mem_base base)) in
+      let bytes = Encode.encode_at ~addr:0 i in
+      let read p = if p < String.length bytes then Char.code bytes.[p] else 0x90 in
+      let j, _ = Decode.decode ~read 0 in
+      check Alcotest.string "roundtrip" (Pp.insn i) (Pp.insn j))
+    [ Reg.RBP; Reg.R13; Reg.RSP; Reg.R12 ]
+
+let () =
+  Alcotest.run "isa"
+    [ ("cc",
+       [ Alcotest.test_case "negate involution" `Quick test_cc_negate_involution;
+         Alcotest.test_case "negate semantics" `Quick test_cc_negate_semantics ]);
+      ("memory",
+       [ Alcotest.test_case "page crossing" `Quick test_mem_page_crossing;
+         Alcotest.test_case "f64 roundtrip" `Quick test_mem_f64_roundtrip;
+         Alcotest.test_case "byte blobs" `Quick test_mem_bytes_roundtrip ]);
+      ("cost",
+       [ Alcotest.test_case "orderings" `Quick test_cost_ordering;
+         Alcotest.test_case "unaligned penalty" `Quick test_unaligned_penalty;
+         Alcotest.test_case "branch direction" `Quick test_branch_cost_direction ]);
+      ("decode",
+       [ Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
+         Alcotest.test_case "rel8 forms" `Quick test_decode_rel8_forms;
+         Alcotest.test_case "b8 mov" `Quick test_decode_b8_mov ]);
+      ("image",
+       [ Alcotest.test_case "symbols" `Quick test_image_symbols;
+         Alcotest.test_case "alignment" `Quick test_image_alignment;
+         Alcotest.test_case "disassemble_fn" `Quick
+           test_disassemble_fn_stops_at_ret ]);
+      ("encode",
+       [ Alcotest.test_case "disp sizes" `Quick test_encode_disp_sizes;
+         Alcotest.test_case "rbp/r13 bases" `Quick test_encode_rbp_r13_base ])
+    ]

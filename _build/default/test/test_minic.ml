@@ -1,0 +1,303 @@
+(* mini-C frontend tests: every language construct, executed both via
+   the IR interpreter and via the full native pipeline (lower -> O3 ->
+   backend -> emulator), which must agree. *)
+
+open Obrew_x86
+open Obrew_ir
+open Obrew_opt
+open Obrew_backend
+open Obrew_minic
+open Ast
+
+let check = Alcotest.check
+let ci64 = Alcotest.int64
+
+(* compile [fns], optimize, run [name] both ways; compare + return *)
+let run_both ?(opt = true) fns name (args : int64 list) : int64 =
+  (* interpreter side *)
+  let m1 = Lower.lower fns in
+  let mem1 = Mem.create () in
+  let ctx = Interp.create ~mem:mem1 m1 in
+  let interp =
+    match Interp.run ctx name (List.map (fun v -> Interp.I v) args) with
+    | Some (Interp.I v) -> v
+    | Some (Interp.P p) -> Int64.of_int p
+    | _ -> Alcotest.fail "expected integer result"
+  in
+  (* native side *)
+  let m2 = Lower.lower fns in
+  if opt then Pipeline.run m2;
+  List.iter (Verify.assert_ok ~ctx:"minic") m2.funcs;
+  let img = Image.create () in
+  ignore (Jit.install_module img m2);
+  let native, _ = Image.call img ~fn:(Image.lookup img name) ~args in
+  check ci64
+    (Printf.sprintf "%s(%s) interp=native" name
+       (String.concat "," (List.map Int64.to_string args)))
+    interp native;
+  native
+
+let intf name params body = { name; params; ret = Some TInt; body }
+
+let test_arith () =
+  let f =
+    intf "f" [ TInt; TInt ]
+      [ Return
+          (Some
+             (Bin
+                ( Add,
+                  Bin (Mul, Param 0, i 3),
+                  Bin (Sub, Param 1, Bin (Div, Param 0, i 2)) ))) ]
+  in
+  List.iter
+    (fun (a, b, want) -> check ci64 "value" want (run_both [ f ] "f" [ a; b ]))
+    [ (10L, 5L, 30L); (7L, 0L, 18L); (-8L, 3L, -17L) ]
+
+let test_bitops () =
+  let f =
+    intf "f" [ TInt; TInt ]
+      [ Return
+          (Some
+             (Bin
+                ( Xor,
+                  Bin (And, Param 0, i 0xFF),
+                  Bin (Or, Bin (Shl, Param 1, i 4), Bin (Shr, Param 0, i 1))
+                ))) ]
+  in
+  ignore (run_both [ f ] "f" [ 0x1234L; 0x5L ]);
+  ignore (run_both [ f ] "f" [ -1L; 7L ])
+
+let test_rem () =
+  let f = intf "f" [ TInt; TInt ] [ Return (Some (Bin (Rem, Param 0, Param 1))) ] in
+  check ci64 "100 mod 7" 2L (run_both [ f ] "f" [ 100L; 7L ]);
+  check ci64 "-100 mod 7" (-2L) (run_both [ f ] "f" [ -100L; 7L ])
+
+let test_comparisons () =
+  List.iter
+    (fun (c, a, b, want) ->
+      let f = intf "f" [ TInt; TInt ] [ Return (Some (Cmp (c, Param 0, Param 1))) ] in
+      check ci64 "cmp" want (run_both [ f ] "f" [ a; b ]))
+    [ (Clt, 1L, 2L, 1L); (Clt, 2L, 1L, 0L); (Cle, 2L, 2L, 1L);
+      (Cgt, -1L, -2L, 1L); (Cge, -5L, -5L, 1L); (Ceq, 3L, 3L, 1L);
+      (Cne, 3L, 4L, 1L); (Clt, -1L, 1L, 1L) ]
+
+let test_if_else () =
+  let f =
+    intf "f" [ TInt ]
+      [ If
+          ( Cmp (Clt, Param 0, i 0),
+            [ Return (Some (Bin (Sub, i 0, Param 0))) ],
+            [ Return (Some (Param 0)) ] ) ]
+  in
+  check ci64 "abs(-7)" 7L (run_both [ f ] "f" [ -7L ]);
+  check ci64 "abs(7)" 7L (run_both [ f ] "f" [ 7L ])
+
+let test_nested_if () =
+  let f =
+    intf "sign" [ TInt ]
+      [ If
+          ( Cmp (Clt, Param 0, i 0),
+            [ Return (Some (i (-1))) ],
+            [ If
+                ( Cmp (Cgt, Param 0, i 0),
+                  [ Return (Some (i 1)) ],
+                  [ Return (Some (i 0)) ] ) ] ) ]
+  in
+  check ci64 "sign(-3)" (-1L) (run_both [ f ] "sign" [ -3L ]);
+  check ci64 "sign(3)" 1L (run_both [ f ] "sign" [ 3L ]);
+  check ci64 "sign(0)" 0L (run_both [ f ] "sign" [ 0L ])
+
+let test_while_loop () =
+  (* collatz step count, bounded *)
+  let f =
+    intf "collatz" [ TInt ]
+      [ Decl ("n", Param 0);
+        Decl ("steps", i 0);
+        While
+          ( Cmp (Cne, v "n", i 1),
+            [ If
+                ( Cmp (Ceq, Bin (Rem, v "n", i 2), i 0),
+                  [ Assign ("n", Bin (Div, v "n", i 2)) ],
+                  [ Assign ("n", Bin (Add, Bin (Mul, v "n", i 3), i 1)) ] );
+              Assign ("steps", v "steps" +! i 1) ] );
+        Return (Some (v "steps")) ]
+  in
+  check ci64 "collatz 6" 8L (run_both [ f ] "collatz" [ 6L ]);
+  check ci64 "collatz 27" 111L (run_both [ f ] "collatz" [ 27L ]);
+  check ci64 "collatz 1" 0L (run_both [ f ] "collatz" [ 1L ])
+
+let test_for_loop () =
+  let f =
+    intf "sumsq" [ TInt ]
+      [ Decl ("acc", i 0);
+        For
+          ( "k", i 0, v "k" <! Param 0, v "k" +! i 1,
+            [ Assign ("acc", v "acc" +! (v "k" *! v "k")) ] );
+        Return (Some (v "acc")) ]
+  in
+  check ci64 "sumsq 5" 30L (run_both [ f ] "sumsq" [ 5L ]);
+  check ci64 "sumsq 0" 0L (run_both [ f ] "sumsq" [ 0L ])
+
+let test_nested_loops () =
+  let f =
+    intf "tri" [ TInt ]
+      [ Decl ("acc", i 0);
+        For
+          ( "a", i 0, v "a" <! Param 0, v "a" +! i 1,
+            [ For
+                ( "b", i 0, v "b" <! v "a", v "b" +! i 1,
+                  [ Assign ("acc", v "acc" +! i 1) ] ) ] );
+        Return (Some (v "acc")) ]
+  in
+  check ci64 "tri 5" 10L (run_both [ f ] "tri" [ 5L ]);
+  check ci64 "tri 1" 0L (run_both [ f ] "tri" [ 1L ])
+
+let test_calls () =
+  let sq = intf "sq" [ TInt ] [ Return (Some (Param 0 *! Param 0)) ] in
+  let f =
+    intf "f" [ TInt ]
+      [ Return (Some (Bin (Add, Call ("sq", [ Param 0 ]),
+                           Call ("sq", [ Param 0 +! i 1 ])))) ]
+  in
+  check ci64 "3²+4²" 25L (run_both [ sq; f ] "f" [ 3L ])
+
+let test_recursion_via_loop () =
+  (* factorial, iteratively (no recursion in the language) *)
+  let f =
+    intf "fact" [ TInt ]
+      [ Decl ("r", i 1);
+        For
+          ( "k", i 2, Cmp (Cle, v "k", Param 0), v "k" +! i 1,
+            [ Assign ("r", v "r" *! v "k") ] );
+        Return (Some (v "r")) ]
+  in
+  check ci64 "10!" 3628800L (run_both [ f ] "fact" [ 10L ])
+
+let test_memory_widths () =
+  (* store i32/i64, read back with sign extension *)
+  let f =
+    { name = "f"; params = [ TPtr; TInt ]; ret = Some TInt;
+      body =
+        [ StoreI32 (Param 0, Param 1);
+          StoreI64 (PtrAdd (Param 0, i 8, 1), Param 1);
+          Return
+            (Some (Bin (Sub, LoadI64 (PtrAdd (Param 0, i 8, 1)),
+                        LoadI32 (Param 0)))) ] }
+  in
+  let m = Lower.lower [ f ] in
+  Pipeline.run m;
+  let img = Image.create () in
+  let buf = Image.alloc_data img 64 in
+  ignore (Jit.install_module img m);
+  let r, _ =
+    Image.call img ~fn:(Image.lookup img "f")
+      ~args:[ Int64.of_int buf; 0x1_0000_0001L ]
+  in
+  (* i32 store truncates to 1; i64 keeps everything *)
+  check ci64 "width semantics" (Int64.sub 0x1_0000_0001L 1L) r
+
+let test_floats () =
+  let f =
+    { name = "f"; params = [ TDouble; TDouble ]; ret = Some TDouble;
+      body =
+        [ Decl ("x", FBin (FMul, Param 0, Param 0));
+          Return (Some (FBin (FDiv, FBin (FAdd, v "x", Param 1),
+                              FloatOfInt (i 2)))) ] }
+  in
+  let m = Lower.lower [ f ] in
+  Pipeline.run m;
+  let img = Image.create () in
+  ignore (Jit.install_module img m);
+  let _, r =
+    Image.call img ~fn:(Image.lookup img "f") ~fargs:[ 3.0; 1.0 ]
+  in
+  Alcotest.(check (float 1e-12)) "(-3²+1)/2" 5.0 r
+
+let test_float_compare () =
+  let f =
+    { name = "f"; params = [ TDouble; TDouble ]; ret = Some TInt;
+      body = [ Return (Some (FCmp (Clt, Param 0, Param 1))) ] }
+  in
+  let m = Lower.lower [ f ] in
+  Pipeline.run m;
+  let img = Image.create () in
+  ignore (Jit.install_module img m);
+  let go a b =
+    fst (Image.call img ~fn:(Image.lookup img "f") ~fargs:[ a; b ])
+  in
+  check ci64 "1.5 < 2.5" 1L (go 1.5 2.5);
+  check ci64 "2.5 < 1.5" 0L (go 2.5 1.5);
+  check ci64 "nan unordered" 0L (go Float.nan 1.0)
+
+let test_function_pointer () =
+  let sq = intf "sq" [ TInt ] [ Return (Some (Param 0 *! Param 0)) ] in
+  let f =
+    { name = "f"; params = [ TPtr; TInt ]; ret = Some TInt;
+      body =
+        [ Return (Some (CallPtr (Param 0, [ TInt ], Some TInt, [ Param 1 ])))
+        ] }
+  in
+  let m = Lower.lower [ sq; f ] in
+  Pipeline.run m;
+  let img = Image.create () in
+  ignore (Jit.install_module img m);
+  let r, _ =
+    Image.call img ~fn:(Image.lookup img "f")
+      ~args:[ Int64.of_int (Image.lookup img "sq"); 9L ]
+  in
+  check ci64 "indirect sq(9)" 81L r
+
+let test_unoptimized_matches () =
+  (* -O0 output must behave the same as -O3 *)
+  let f =
+    intf "f" [ TInt; TInt ]
+      [ Decl ("acc", i 0);
+        For
+          ( "k", Param 1, v "k" <! Param 0, v "k" +! i 1,
+            [ If
+                ( Cmp (Ceq, Bin (Rem, v "k", i 3), i 0),
+                  [ Assign ("acc", v "acc" +! v "k") ],
+                  [ Assign ("acc", v "acc" -! i 1) ] ) ] );
+        Return (Some (v "acc")) ]
+  in
+  let o3 = run_both [ f ] "f" [ 20L; 0L ] in
+  let o0 = run_both ~opt:false [ f ] "f" [ 20L; 0L ] in
+  check ci64 "O0 = O3" o3 o0
+
+let test_compile_errors () =
+  let bad = intf "f" [ TInt ] [ Return (Some (v "nope")) ] in
+  (match Lower.lower [ bad ] with
+   | exception Lower.Compile_error _ -> ()
+   | _ -> Alcotest.fail "expected a compile error for undeclared variable");
+  let bad2 =
+    { name = "f"; params = []; ret = Some TInt; body = [] }
+  in
+  (match Lower.lower [ bad2 ] with
+   | exception Lower.Compile_error _ -> ()
+   | _ -> Alcotest.fail "expected missing-return error")
+
+let () =
+  Alcotest.run "minic"
+    [ ("exprs",
+       [ Alcotest.test_case "arithmetic" `Quick test_arith;
+         Alcotest.test_case "bit operations" `Quick test_bitops;
+         Alcotest.test_case "remainder" `Quick test_rem;
+         Alcotest.test_case "comparisons" `Quick test_comparisons ]);
+      ("control",
+       [ Alcotest.test_case "if/else" `Quick test_if_else;
+         Alcotest.test_case "nested if" `Quick test_nested_if;
+         Alcotest.test_case "while" `Quick test_while_loop;
+         Alcotest.test_case "for" `Quick test_for_loop;
+         Alcotest.test_case "nested loops" `Quick test_nested_loops;
+         Alcotest.test_case "iterative factorial" `Quick
+           test_recursion_via_loop ]);
+      ("functions",
+       [ Alcotest.test_case "direct calls" `Quick test_calls;
+         Alcotest.test_case "function pointers" `Quick test_function_pointer ]);
+      ("data",
+       [ Alcotest.test_case "memory widths" `Quick test_memory_widths;
+         Alcotest.test_case "floats" `Quick test_floats;
+         Alcotest.test_case "float compare" `Quick test_float_compare ]);
+      ("misc",
+       [ Alcotest.test_case "O0 matches O3" `Quick test_unoptimized_matches;
+         Alcotest.test_case "compile errors" `Quick test_compile_errors ]) ]

@@ -1,0 +1,52 @@
+(* End-to-end integration: every mode of Fig. 9 must compute the same
+   Jacobi result as an OCaml reference implementation. *)
+
+open Obrew_core
+
+let sz = 21
+let iters = 3
+
+let env = lazy (Modes.build ~sz ())
+
+let reference_result () =
+  let env = Lazy.force env in
+  Modes.reset env;
+  let m1 = Obrew_stencil.Stencil.read_matrix env.Modes.w env.Modes.w.m1 in
+  let m2 = Obrew_stencil.Stencil.read_matrix env.Modes.w env.Modes.w.m2 in
+  let a, _ = Obrew_stencil.Stencil.reference ~sz ~iters m1 m2 in
+  a
+
+let check_mode kind style tr () =
+  let env = Lazy.force env in
+  let expected = reference_result () in
+  let kernel, dt = Modes.transform env kind style tr in
+  Alcotest.(check bool) "compile time sane" true (dt >= 0.0);
+  let cycles, insns = Modes.run env kind style ~kernel ~iters in
+  Alcotest.(check bool) "ran" true (cycles > 0 && insns > 0);
+  let got = Modes.result_matrix env ~iters in
+  Array.iteri
+    (fun i e ->
+      if Float.abs (e -. got.(i)) > 1e-9 then
+        Alcotest.failf "%s %s %s: cell %d differs: ref %.17g got %.17g"
+          (Modes.kind_name kind) (Modes.style_name style)
+          (Modes.transform_name tr) i e got.(i))
+    expected
+
+let cases =
+  List.concat_map
+    (fun kind ->
+      List.concat_map
+        (fun style ->
+          List.map
+            (fun tr ->
+              Alcotest.test_case
+                (Printf.sprintf "%s/%s/%s" (Modes.kind_name kind)
+                   (Modes.style_name style) (Modes.transform_name tr))
+                `Slow
+                (check_mode kind style tr))
+            [ Modes.Native; Modes.Llvm; Modes.LlvmFix; Modes.DBrew;
+              Modes.DBrewLlvm ])
+        [ Modes.Element; Modes.Line ])
+    [ Modes.Direct; Modes.Flat; Modes.Sorted ]
+
+let () = Alcotest.run "stencil" [ ("modes", cases) ]

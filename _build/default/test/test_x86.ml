@@ -1,0 +1,466 @@
+(* Tests for the x86 substrate: encoder/decoder round-trips, known
+   byte patterns, and emulator semantics on small assembled programs. *)
+
+open Obrew_x86
+open Insn
+
+let check = Alcotest.check
+let cstr = Alcotest.string
+let cbool = Alcotest.bool
+let ci64 = Alcotest.int64
+let cint = Alcotest.int
+
+let hex s =
+  String.concat " "
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s)))
+
+let enc ?(addr = 0x400000) i = Encode.encode_at ~addr i
+
+(* ---------- known encodings ---------- *)
+
+let test_known_bytes () =
+  let cases =
+    [ (Ret, "c3");
+      (Push (OReg Reg.RAX), "50");
+      (Push (OReg Reg.R12), "41 54");
+      (Pop (OReg Reg.RBP), "5d");
+      (Nop 1, "90");
+      (Int3, "cc");
+      (Ud2, "0f 0b");
+      (Leave, "c9");
+      (Cqo, "48 99");
+      (Alu (Add, W64, OReg Reg.RAX, OImm 1L), "48 83 c0 01");
+      (Alu (Sub, W64, OReg Reg.RAX, OImm 1L), "48 83 e8 01");
+      (Mov (W64, OReg Reg.RAX, OReg Reg.RBX), "48 8b c3");
+      (Movabs (Reg.RAX, 0x1122334455667788L),
+       "48 b8 88 77 66 55 44 33 22 11");
+      (Lea (Reg.RAX, mem_bi Reg.RSI Reg.RCX S8), "48 8d 04 ce");
+      (SseArith (FAdd, Sd, 0, Xr 1), "f2 0f 58 c1");
+      (SseLogic (Pxor, 1, Xr 1), "66 0f ef c9");
+      (Setcc (E, OReg Reg.RAX), "0f 94 c0") ]
+  in
+  List.iter
+    (fun (i, expect) ->
+      check cstr (Pp.insn i) expect (hex (enc i)))
+    cases
+
+let test_rel32_encoding () =
+  (* jmp to self = e9 fb ff ff ff *)
+  check cstr "jmp self" "e9 fb ff ff ff"
+    (hex (enc ~addr:0x400000 (Jmp (Abs 0x400000))));
+  (* call forward by 0x10 from 0x400000: target 0x400010, rel = 0xb *)
+  check cstr "call fwd" "e8 0b 00 00 00"
+    (hex (enc ~addr:0x400000 (Call (Abs 0x400010))))
+
+(* ---------- decoder on encoder output ---------- *)
+
+let roundtrip i =
+  let addr = 0x400000 in
+  let bytes = enc ~addr i in
+  let read p =
+    let off = p - addr in
+    if off < 0 || off >= String.length bytes then 0x90
+    else Char.code bytes.[off]
+  in
+  let j, len = Decode.decode ~read addr in
+  Alcotest.(check int) ("len of " ^ Pp.insn i) (String.length bytes) len;
+  check cstr ("roundtrip " ^ hex bytes) (Pp.insn i) (Pp.insn j);
+  if i <> j then
+    Alcotest.failf "structural mismatch: %s vs %s" (Pp.insn i) (Pp.insn j)
+
+let sample_insns =
+  let open Reg in
+  [ Mov (W64, OReg RAX, OReg RDI);
+    Mov (W32, OReg R9, OMem (mem_base ~disp:(-12) RBP));
+    Mov (W8, OMem (mem_base RSI), OReg RCX);
+    Mov (W64, OMem (mem_bi ~disp:8 RDX RCX S8), OReg RAX);
+    Mov (W32, OReg RAX, OImm 42L);
+    Mov (W64, OReg R13, OImm (-1L));
+    Mov (W16, OMem (mem_abs 0x1234), OImm 7L);
+    Movabs (R11, 0x123456789abcdef0L);
+    Movzx (W64, RAX, W8, OReg RCX);
+    Movzx (W32, RDX, W16, OMem (mem_base RSP));
+    Movsx (W64, RAX, W32, OReg RDI);
+    Movsx (W64, R8, W8, OMem (mem_base ~disp:3 R12));
+    Lea (RAX, mem_bi ~disp:(-8) RSI RCX S4);
+    Lea (R15, mem_abs 0x401000);
+    Alu (Add, W64, OReg RAX, OReg RBX);
+    Alu (Sub, W32, OReg RCX, OMem (mem_base RDI));
+    Alu (And, W64, OMem (mem_base ~disp:16 RSP), OReg RDX);
+    Alu (Xor, W64, OReg R10, OImm 255L);
+    Alu (Cmp, W64, OReg RDI, OReg RSI);
+    Alu (Cmp, W32, OReg RAX, OImm 1000000L);
+    Test (W64, OReg RAX, OReg RAX);
+    Test (W32, OReg RCX, OImm 8L);
+    Imul2 (W64, RAX, OReg RCX);
+    Imul3 (W64, RDX, OReg RDX, 649L);
+    Imul3 (W32, RCX, OMem (mem_base RSI), (-7L));
+    Idiv (W64, OReg RCX);
+    Shift (Shl, W64, OReg RAX, ShImm 3);
+    Shift (Sar, W32, OReg RDX, ShCl);
+    Shift (Shr, W64, OMem (mem_base RBP), ShImm 1);
+    Unop (Neg, W64, OReg RAX);
+    Unop (Not, W32, OReg R9);
+    Unop (Inc, W64, OReg RCX);
+    Unop (Dec, W64, OMem (mem_base RDI));
+    Push (OReg RBX);
+    Push (OImm 100L);
+    Pop (OReg R14);
+    Call (Abs 0x400020);
+    CallInd (OReg RAX);
+    CallInd (OMem (mem_base ~disp:8 RDI));
+    Jmp (Abs 0x3fffe0);
+    JmpInd (OReg RCX);
+    Jcc (NE, Abs 0x400100);
+    Jcc (LE, Abs 0x400000);
+    Cmov (L, W64, RAX, OReg RSI);
+    Cmov (GE, W32, R8, OMem (mem_base RDX));
+    Setcc (G, OReg RDX);
+    SseMov (Movsd, Xr 0, Xm (mem_bi RSI RCX S8));
+    SseMov (Movsd, Xm (mem_base ~disp:8 RDX), Xr 1);
+    SseMov (Movsd, Xr 2, Xr 3);
+    SseMov (Movss, Xr 4, Xm (mem_base RAX));
+    SseMov (Movaps, Xr 0, Xr 1);
+    SseMov (Movups, Xr 5, Xm (mem_base RSI));
+    SseMov (Movupd, Xm (mem_base RDI), Xr 6);
+    SseMov (Movapd, Xr 7, Xm (mem_base RSP));
+    SseMov (Movdqa, Xr 8, Xm (mem_base RBX));
+    SseMov (Movdqu, Xm (mem_base R9), Xr 10);
+    SseMov (Movq, Xr 0, Xr 1);
+    SseMov (Movq, Xr 0, Xm (mem_base RSI));
+    SseMov (Movq, Xm (mem_base RDI), Xr 2);
+    MovqXR (3, RAX);
+    MovqRX (RCX, 4);
+    SseArith (FAdd, Sd, 0, Xm (mem_bi ~disp:8 RSI RCX S8));
+    SseArith (FMul, Sd, 1, Xr 2);
+    SseArith (FSub, Pd, 3, Xr 4);
+    SseArith (FDiv, Ss, 5, Xm (mem_base RAX));
+    SseArith (FAdd, Ps, 6, Xr 7);
+    SseArith (FSqrt, Sd, 8, Xr 8);
+    SseLogic (Pxor, 0, Xr 0);
+    SseLogic (Xorps, 1, Xr 2);
+    SseLogic (Andpd, 3, Xm (mem_base RSI));
+    Ucomis (Sd, 0, Xr 1);
+    Ucomis (Ss, 2, Xm (mem_base RDI));
+    Cvtsi2sd (0, W64, OReg RAX);
+    Cvtsi2sd (1, W32, OMem (mem_base RSI));
+    Cvttsd2si (RAX, W64, Xr 0);
+    Cvtsd2ss (0, Xr 1);
+    Cvtss2sd (2, Xm (mem_base RDX));
+    Unpcklpd (0, Xr 1);
+    Shufpd (2, Xr 3, 1);
+    Padd (W64, 4, Xr 5);
+    Padd (W32, 6, Xm (mem_base RCX));
+    Mov (W8, OReg8H RAX, OImm 5L);
+    Mov (W8, OReg RAX, OReg8H RBX);
+    Cdq ]
+
+let test_roundtrip_samples () = List.iter roundtrip sample_insns
+
+(* property-based roundtrip over random instruction mixes *)
+let gen_gpr = QCheck2.Gen.(map Reg.of_index (int_range 0 15))
+let gen_gpr_noidx =
+  QCheck2.Gen.(map Reg.of_index (oneofl [0;1;2;3;5;6;7;8;9;10;11;12;13;14;15]))
+
+let gen_mem =
+  let open QCheck2.Gen in
+  let* base = opt gen_gpr in
+  let* index = opt (pair gen_gpr_noidx (oneofl [ S1; S2; S4; S8 ])) in
+  let* disp = oneof [ return 0; int_range (-128) 127;
+                      int_range (-100000) 100000 ] in
+  let* seg = opt (oneofl [ FS; GS ]) in
+  (* index must not be rsp; absolute addressing ignores seg here *)
+  return { base; index; disp; seg = (if base = None && index = None then None else seg) }
+
+let gen_width = QCheck2.Gen.oneofl [ W8; W16; W32; W64 ]
+let gen_widthi = QCheck2.Gen.oneofl [ W16; W32; W64 ]
+
+let gen_operand w =
+  let open QCheck2.Gen in
+  oneof
+    [ map (fun r -> OReg r) gen_gpr;
+      map (fun m -> OMem m) gen_mem;
+      (if w = W64 then map (fun i -> OImm (Int64.of_int i)) (int_range (-10000) 10000)
+       else map (fun i -> OImm (Int64.of_int i)) (int_range (-100) 100)) ]
+
+let gen_reg_operand =
+  QCheck2.Gen.(oneof [ map (fun r -> OReg r) gen_gpr;
+                       map (fun m -> OMem m) gen_mem ])
+
+let gen_insn =
+  let open QCheck2.Gen in
+  let alu = oneofl [ Add; Sub; And; Or; Xor; Cmp; Adc; Sbb ] in
+  oneof
+    [ (let* w = gen_width in
+       let* d = gen_reg_operand in
+       let* s = gen_operand w in
+       match d, s with
+       | OMem _, OMem _ -> return (Mov (w, d, OReg Reg.RAX))
+       | _ -> return (Mov (w, d, s)));
+      (let* op = alu in
+       let* w = gen_width in
+       let* d = map (fun r -> OReg r) gen_gpr in
+       let* s = gen_operand w in
+       return (Alu (op, w, d, s)));
+      (let* op = alu in
+       let* w = gen_width in
+       let* d = map (fun m -> OMem m) gen_mem in
+       let* s = map (fun r -> OReg r) gen_gpr in
+       return (Alu (op, w, d, s)));
+      (let* w = gen_widthi in
+       let* d = gen_gpr in
+       let* s = gen_reg_operand in
+       return (Imul2 (w, d, s)));
+      (let* c = oneofl [ O; NO; B; AE; E; NE; BE; A; S; NS; P; NP; L; GE; LE; G ] in
+       let* w = gen_widthi in
+       let* d = gen_gpr in
+       let* s = gen_reg_operand in
+       return (Cmov (c, w, d, s)));
+      (let* x = int_range 0 15 in
+       let* m = gen_mem in
+       let* p = oneofl [ Sd; Ss; Pd; Ps ] in
+       let* a = oneofl [ FAdd; FSub; FMul; FDiv; FMin; FMax ] in
+       let* src = oneof [ map (fun y -> Xr y) (int_range 0 15); return (Xm m) ] in
+       return (SseArith (a, p, x, src)));
+      (let* w = gen_width in
+       let* sh = oneofl [ Shl; Shr; Sar ] in
+       let* d = gen_reg_operand in
+       let* n = int_range 1 (if w = W64 then 63 else 31) in
+       return (Shift (sh, w, d, ShImm n)));
+      (let* t = int_range 0x300000 0x500000 in
+       let* c = oneofl [ E; NE; L; GE; LE; G; B; A ] in
+       oneofl [ Jmp (Abs t); Call (Abs t); Jcc (c, Abs t) ]) ]
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"encode/decode roundtrip" ~count:2000 gen_insn
+    (fun i ->
+      (try roundtrip i; true
+       with
+       | Encode.Encode_error _ -> QCheck2.assume_fail ()
+       | Decode.Decode_error e ->
+         QCheck2.Test.fail_reportf "decode failed on %s: %s" (Pp.insn i) e))
+
+(* ---------- assembler ---------- *)
+
+let test_assemble_labels () =
+  let items =
+    [ I (Mov (W64, OReg Reg.RAX, OImm 0L));
+      L 0;
+      I (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RDI));
+      I (Unop (Dec, W64, OReg Reg.RDI));
+      I (Jcc (NE, Lbl 0));
+      I Ret ]
+  in
+  let bytes, listing, labels = Encode.assemble ~base:0x400000 items in
+  check cint "label count" 1 (Hashtbl.length labels);
+  check cint "listing count" 5 (List.length listing);
+  (* decode back and compare mnemonics *)
+  let dec = Decode.decode_all ~base:0x400000 bytes in
+  check cint "decoded count" 5 (List.length dec);
+  let js =
+    List.filter_map
+      (function _, Jcc (c, Abs t) -> Some (c, t) | _ -> None)
+      dec
+  in
+  (match js with
+   | [ (NE, t) ] -> check cint "jcc target" (Hashtbl.find labels 0) t
+   | _ -> Alcotest.fail "expected one jcc")
+
+(* ---------- emulator ---------- *)
+
+let fresh () = Image.create ()
+
+let test_emu_sum_loop () =
+  (* sum 1..n: rdi = n *)
+  let img = fresh () in
+  let fn =
+    Image.install_code img
+      [ I (Alu (Xor, W32, OReg Reg.RAX, OReg Reg.RAX));
+        L 0;
+        I (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RDI));
+        I (Unop (Dec, W64, OReg Reg.RDI));
+        I (Jcc (NE, Lbl 0));
+        I Ret ]
+  in
+  let r, _ = Image.call img ~fn ~args:[ 100L ] in
+  check ci64 "sum 1..100" 5050L r
+
+let test_emu_max_cmov () =
+  (* Fig. 6 code: max of two arguments via cmp + cmov *)
+  let img = fresh () in
+  let fn =
+    Image.install_code img
+      [ I (Mov (W64, OReg Reg.RAX, OReg Reg.RDI));
+        I (Alu (Cmp, W64, OReg Reg.RDI, OReg Reg.RSI));
+        I (Cmov (L, W64, Reg.RAX, OReg Reg.RSI));
+        I Ret ]
+  in
+  let m a b = fst (Image.call img ~fn ~args:[ a; b ]) in
+  check ci64 "max(3,5)" 5L (m 3L 5L);
+  check ci64 "max(5,3)" 5L (m 5L 3L);
+  check ci64 "max(-1,1)" 1L (m (-1L) 1L);
+  check ci64 "max(-5,-9)" (-5L) (m (-5L) (-9L))
+
+let test_emu_memory () =
+  let img = fresh () in
+  let arr = Image.alloc_f64_array img [| 1.5; 2.5; 3.0 |] in
+  (* sum of 3 doubles at rdi *)
+  let fn =
+    Image.install_code img
+      [ I (SseMov (Movsd, Xr 0, Xm (mem_base Reg.RDI)));
+        I (SseArith (FAdd, Sd, 0, Xm (mem_base ~disp:8 Reg.RDI)));
+        I (SseArith (FAdd, Sd, 0, Xm (mem_base ~disp:16 Reg.RDI)));
+        I Ret ]
+  in
+  let _, f = Image.call img ~fn ~args:[ Int64.of_int arr ] in
+  check (Alcotest.float 1e-9) "sum" 7.0 f
+
+let test_emu_call_stack () =
+  let img = fresh () in
+  (* callee: rax = rdi * 2 *)
+  let callee =
+    Image.install_code img
+      [ I (Lea (Reg.RAX, mem_bi Reg.RDI Reg.RDI S1)); I Ret ]
+  in
+  (* caller: call callee twice, add results *)
+  let caller =
+    Image.install_code img
+      [ I (Push (OReg Reg.RBX));
+        I (Mov (W64, OReg Reg.RBX, OReg Reg.RDI));
+        I (Call (Abs callee));
+        I (Mov (W64, OReg Reg.RDI, OReg Reg.RBX));
+        I (Push (OReg Reg.RAX));
+        I (Call (Abs callee));
+        I (Pop (OReg Reg.RCX));
+        I (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RCX));
+        I (Pop (OReg Reg.RBX));
+        I Ret ]
+  in
+  let r, _ = Image.call img ~fn:caller ~args:[ 21L ] in
+  check ci64 "2*21 + 2*21" 84L r
+
+let test_emu_flags_semantics () =
+  let img = fresh () in
+  (* isneg: returns 1 if rdi < 0 (setl after cmp 0) *)
+  let fn =
+    Image.install_code img
+      [ I (Alu (Cmp, W64, OReg Reg.RDI, OImm 0L));
+        I (Setcc (L, OReg Reg.RAX));
+        I (Movzx (W64, Reg.RAX, W8, OReg Reg.RAX));
+        I Ret ]
+  in
+  let f v = fst (Image.call img ~fn ~args:[ v ]) in
+  check ci64 "neg" 1L (f (-3L));
+  check ci64 "pos" 0L (f 3L);
+  check ci64 "zero" 0L (f 0L)
+
+let test_emu_widths () =
+  let img = fresh () in
+  (* 32-bit add zero-extends into 64-bit register *)
+  let fn =
+    Image.install_code img
+      [ I (Movabs (Reg.RAX, 0xFFFFFFFFFFFFFFFFL));
+        I (Alu (Add, W32, OReg Reg.RAX, OImm 1L));
+        I Ret ]
+  in
+  let r, _ = Image.call img ~fn in
+  check ci64 "32-bit wraps and zero-extends" 0L r;
+  (* 16-bit write preserves upper bits *)
+  let fn2 =
+    Image.install_code img
+      [ I (Movabs (Reg.RAX, 0x1111111111111111L));
+        I (Mov (W16, OReg Reg.RAX, OImm 0x2222L));
+        I Ret ]
+  in
+  let r2, _ = Image.call img ~fn:fn2 in
+  check ci64 "16-bit preserves upper" 0x1111111111112222L r2
+
+let test_emu_high_byte () =
+  let img = fresh () in
+  let fn =
+    Image.install_code img
+      [ I (Mov (W32, OReg Reg.RAX, OImm 0L));
+        I (Mov (W8, OReg8H Reg.RAX, OImm 0x7fL));
+        I Ret ]
+  in
+  let r, _ = Image.call img ~fn in
+  check ci64 "ah write" 0x7f00L r
+
+let test_emu_signed_div () =
+  let img = fresh () in
+  let fn =
+    Image.install_code img
+      [ I (Mov (W64, OReg Reg.RAX, OReg Reg.RDI));
+        I Cqo;
+        I (Idiv (W64, OReg Reg.RSI));
+        I Ret ]
+  in
+  let d a b = fst (Image.call img ~fn ~args:[ a; b ]) in
+  check ci64 "100/7" 14L (d 100L 7L);
+  check ci64 "-100/7" (-14L) (d (-100L) 7L)
+
+let test_emu_sse_upper_semantics () =
+  let img = fresh () in
+  let arr = Image.alloc_f64_array img [| 2.0; 4.0 |] in
+  (* load [2;4] packed, movsd from mem into xmm (zeroes upper), then
+     unpack: result lane1 must be 0 *)
+  let fn =
+    Image.install_code img
+      [ I (SseMov (Movupd, Xr 0, Xm (mem_base Reg.RDI)));
+        I (SseMov (Movsd, Xr 0, Xm (mem_base ~disp:8 Reg.RDI)));
+        I (Shufpd (0, Xr 0, 1));
+        (* lane0 <- old lane1, which movsd-from-memory must have zeroed *)
+        I (SseArith (FAdd, Pd, 0, Xr 0));
+        I Ret ]
+  in
+  let _, f = Image.call img ~fn ~args:[ Int64.of_int arr ] in
+  check (Alcotest.float 1e-9) "movsd load zeroes upper lane" 0.0 f
+
+let test_cycle_accounting () =
+  let img = fresh () in
+  let fn =
+    Image.install_code img
+      [ I (Mov (W64, OReg Reg.RAX, OImm 7L)); I Ret ]
+  in
+  let (_, cycles, icount) =
+    Image.measure img (fun () -> Image.call img ~fn)
+  in
+  check cbool "counts instructions" true (icount = 2);
+  check cbool "cycles positive" true (cycles > 0)
+
+let test_stack_alignment () =
+  let img = fresh () in
+  (* At entry rsp mod 16 must be 8 (ABI: aligned before call) *)
+  let fn =
+    Image.install_code img
+      [ I (Mov (W64, OReg Reg.RAX, OReg Reg.RSP));
+        I (Alu (And, W64, OReg Reg.RAX, OImm 15L));
+        I Ret ]
+  in
+  let r, _ = Image.call img ~fn in
+  check ci64 "rsp % 16 == 8 at entry" 8L r
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "x86"
+    [ ("encode",
+       [ Alcotest.test_case "known bytes" `Quick test_known_bytes;
+         Alcotest.test_case "rel32" `Quick test_rel32_encoding;
+         Alcotest.test_case "assemble+labels" `Quick test_assemble_labels ]);
+      ("roundtrip",
+       [ Alcotest.test_case "samples" `Quick test_roundtrip_samples;
+         qt prop_roundtrip ]);
+      ("emulator",
+       [ Alcotest.test_case "sum loop" `Quick test_emu_sum_loop;
+         Alcotest.test_case "max cmov" `Quick test_emu_max_cmov;
+         Alcotest.test_case "memory f64" `Quick test_emu_memory;
+         Alcotest.test_case "call/stack" `Quick test_emu_call_stack;
+         Alcotest.test_case "flags" `Quick test_emu_flags_semantics;
+         Alcotest.test_case "widths" `Quick test_emu_widths;
+         Alcotest.test_case "high byte" `Quick test_emu_high_byte;
+         Alcotest.test_case "signed div" `Quick test_emu_signed_div;
+         Alcotest.test_case "sse upper" `Quick test_emu_sse_upper_semantics;
+         Alcotest.test_case "cycles" `Quick test_cycle_accounting;
+         Alcotest.test_case "stack alignment" `Quick test_stack_alignment ])
+    ]
