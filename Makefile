@@ -1,0 +1,25 @@
+# Convenience targets; CI runs `make ci`.
+
+.PHONY: all build test bench bench-quick ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	dune exec bench/main.exe -- --quick
+
+ci:
+	dune build @check
+	dune runtest
+	dune exec bench/main.exe -- --quick --only fig9a
+
+clean:
+	dune clean

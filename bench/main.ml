@@ -26,6 +26,7 @@ open Toolkit
 let sz = ref 49
 let iters = ref 6
 let only = ref []
+let json_dir = ref None
 
 let () =
   let rec parse = function
@@ -33,6 +34,7 @@ let () =
     | "--iters" :: n :: tl -> iters := int_of_string n; parse tl
     | "--only" :: s :: tl -> only := s :: !only; parse tl
     | "--quick" :: tl -> sz := 25; iters := 3; parse tl
+    | "--json" :: d :: tl -> json_dir := Some d; parse tl
     | [] -> ()
     | a :: _ -> Printf.eprintf "unknown argument %s\n" a; exit 2
   in
@@ -42,6 +44,38 @@ let enabled name = !only = [] || List.mem name !only
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* write machine-readable per-section results as BENCH_<section>.json
+   under the --json directory, so the perf trajectory is comparable
+   across PRs without scraping the human tables *)
+let write_json section (fields : string list) =
+  match !json_dir with
+  | None -> ()
+  | Some dir -> (
+    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" section) in
+    try
+      (try Unix.mkdir dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let oc = open_out path in
+      output_string oc ("{\n  " ^ String.concat ",\n  " fields ^ "\n}\n");
+      close_out oc;
+      Printf.printf "[json written to %s]\n" path
+    with
+    | Sys_error m -> Printf.eprintf "warning: cannot write %s: %s\n" path m
+    | Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "warning: cannot write %s: %s: %s\n" path
+        (Unix.error_message e) arg)
+
+let jstr k v = Printf.sprintf "%S: %S" k v
+let jint k v = Printf.sprintf "%S: %d" k v
+let jfloat k v = Printf.sprintf "%S: %.6f" k v
+
+let jobj k fields = Printf.sprintf "%S: {%s}" k (String.concat ", " fields)
+
+let sb_stats_fields (s : Cpu.cache_stats) =
+  [ jint "hits" s.Cpu.block_hits; jint "misses" s.Cpu.block_misses;
+    jint "chained" s.Cpu.block_chained; jint "flushes" s.Cpu.block_flushes;
+    jint "live" s.Cpu.blocks_live ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: per-instruction lifting                                     *)
@@ -153,6 +187,10 @@ let fig9 env (style : Modes.style) =
     (fun t -> Printf.printf "%12s" (Modes.transform_name t))
     transforms;
   print_newline ();
+  let cpu = env.Modes.img.Image.cpu in
+  Cpu.reset_cache_stats cpu;
+  let rows = ref [] in
+  let total_insns = ref 0 and total_wall = ref 0.0 in
   List.iter
     (fun (kind, kname) ->
       Printf.printf "%-14s" kname;
@@ -160,12 +198,51 @@ let fig9 env (style : Modes.style) =
         (fun t ->
           try
             let k, _ = Modes.transform env kind style t in
-            let cycles, _ = Modes.run env kind style ~kernel:k ~iters:!iters in
+            let t0 = Unix.gettimeofday () in
+            let cycles, insns =
+              Modes.run env kind style ~kernel:k ~iters:!iters
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            total_insns := !total_insns + insns;
+            total_wall := !total_wall +. wall;
+            rows :=
+              jobj
+                (Printf.sprintf "%s/%s" kname (Modes.transform_name t))
+                [ jint "cycles" cycles; jint "insns" insns;
+                  jfloat "wall_s" wall ]
+              :: !rows;
             Printf.printf "%12.2f" (float_of_int cycles /. 1e6)
           with Modes.Transform_failed _ -> Printf.printf "%12s" "n/a")
         transforms;
       print_newline ())
-    kinds
+    kinds;
+  let stats = Cpu.cache_stats cpu in
+  let lookups = stats.Cpu.block_hits + stats.Cpu.block_misses in
+  let hit_rate =
+    if lookups = 0 then 0.0
+    else float_of_int stats.Cpu.block_hits /. float_of_int lookups
+  in
+  let mips =
+    if !total_wall > 0.0 then float_of_int !total_insns /. !total_wall /. 1e6
+    else 0.0
+  in
+  let mh, mm = Modes.memo_stats env in
+  let dh, dm = Obrew_dbrew.Api.memo_stats () in
+  Printf.printf
+    "emulated: %.1f MIPS  |  superblocks: %d live, %.1f%% hit rate, %d chained transitions\n"
+    mips stats.Cpu.blocks_live (100.0 *. hit_rate) stats.Cpu.block_chained;
+  Printf.printf
+    "memo caches: transform %d hits / %d misses, dbrew %d hits / %d misses\n"
+    mh mm dh dm;
+  write_json ("fig" ^ label)
+    [ jstr "section" ("fig" ^ label);
+      jint "sz" !sz; jint "iters" !iters;
+      jobj "rows" (List.rev !rows);
+      jfloat "emulated_mips" mips;
+      jfloat "superblock_hit_rate" hit_rate;
+      jobj "superblocks" (sb_stats_fields stats);
+      jobj "transform_memo" [ jint "hits" mh; jint "misses" mm ];
+      jobj "dbrew_memo" [ jint "hits" dh; jint "misses" dm ] ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 10: transformation times (Bechamel, one Test per mode)         *)
@@ -176,8 +253,10 @@ let fig10 env =
   let mk kind kname t =
     Test.make
       ~name:(Printf.sprintf "%s/%s" kname (Modes.transform_name t))
+      (* use_memo:false — Fig. 10 measures the real pipeline cost, so
+         repeated runs must not be served from the memo cache *)
       (Staged.stage (fun () ->
-           try ignore (Modes.transform env kind Modes.Line t)
+           try ignore (Modes.transform ~use_memo:false env kind Modes.Line t)
            with Modes.Transform_failed _ -> ()))
   in
   let tests =
@@ -246,8 +325,8 @@ let ablation_lifter env =
   header "Ablation: lifter features (flat element kernel, LLVM mode)";
   let run cfg label =
     try
-      let k, dt = Modes.transform ~lift_config:cfg env Modes.Flat
-          Modes.Element Modes.Llvm in
+      let k, dt = Modes.transform ~use_memo:false ~lift_config:cfg env
+          Modes.Flat Modes.Element Modes.Llvm in
       let cycles, _ = Modes.run env Modes.Flat Modes.Element ~kernel:k
           ~iters:!iters in
       Printf.printf "%-26s %10.2f Mcycles   compile %6.2f ms\n" label
@@ -275,8 +354,8 @@ let ablation_passes env =
   List.iter
     (fun (label, opt) ->
       try
-        let k, _ = Modes.transform ~opt env Modes.Flat Modes.Element
-            Modes.LlvmFix in
+        let k, _ = Modes.transform ~use_memo:false ~opt env Modes.Flat
+            Modes.Element Modes.LlvmFix in
         let cycles, _ = Modes.run env Modes.Flat Modes.Element ~kernel:k
             ~iters:!iters in
         Printf.printf "%-26s %10.2f Mcycles\n" label
@@ -287,8 +366,10 @@ let ablation_passes env =
       | Obrew_backend.Isel.Backend_error m ->
         Printf.printf "%-26s backend: %s\n" label m)
     variants;
-  (* per-pass activity of the full pipeline *)
-  ignore (Modes.transform env Modes.Flat Modes.Element Modes.LlvmFix);
+  (* per-pass activity of the full pipeline (bypass the memo so the
+     pipeline actually runs and updates the pass counters) *)
+  ignore (Modes.transform ~use_memo:false env Modes.Flat Modes.Element
+            Modes.LlvmFix);
   Printf.printf "\npass activity (times a pass changed the IR):\n";
   List.iter
     (fun (name, n) -> Printf.printf "  %-14s %4d\n" name n)

@@ -44,8 +44,29 @@ let transform_arg =
 let dump_arg =
   Arg.(value & flag & info [ "dump" ] ~doc:"Disassemble the kernel used.")
 
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print execution-engine and memo-cache counters.")
+
+let print_stats (env : Modes.env) =
+  let open Obrew_x86 in
+  let s = Cpu.cache_stats env.Modes.img.Image.cpu in
+  let lookups = s.Cpu.block_hits + s.Cpu.block_misses in
+  Printf.printf
+    "superblocks: %d live, %d hits / %d misses (%.1f%% hit rate), \
+     %d chained transitions, %d flushes\n"
+    s.Cpu.blocks_live s.Cpu.block_hits s.Cpu.block_misses
+    (if lookups = 0 then 0.0
+     else 100.0 *. float_of_int s.Cpu.block_hits /. float_of_int lookups)
+    s.Cpu.block_chained s.Cpu.block_flushes;
+  let mh, mm = Modes.memo_stats env in
+  let dh, dm = Obrew_dbrew.Api.memo_stats () in
+  Printf.printf
+    "memo caches: transform %d hits / %d misses, dbrew %d hits / %d misses\n"
+    mh mm dh dm
+
 let stencil_cmd =
-  let run sz iters kind style tr dump =
+  let run sz iters kind style tr dump stats =
     let env = Modes.build ~sz () in
     (try
        let kernel, dt = Modes.transform env kind style tr in
@@ -54,6 +75,7 @@ let stencil_cmd =
          "%s %s %s: %d cycles, %d instructions, transform %.3f ms\n"
          (Modes.kind_name kind) (Modes.style_name style)
          (Modes.transform_name tr) cycles insns (dt *. 1e3);
+       if stats then print_stats env;
        if dump then
          print_endline
            (Obrew_x86.Pp.listing
@@ -66,10 +88,10 @@ let stencil_cmd =
   Cmd.v
     (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
     Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
-          $ transform_arg $ dump_arg)
+          $ transform_arg $ dump_arg $ stats_arg)
 
 let modes_cmd =
-  let run sz iters style =
+  let run sz iters style stats =
     let env = Modes.build ~sz () in
     Printf.printf "%-14s" "";
     let transforms =
@@ -92,12 +114,13 @@ let modes_cmd =
           transforms;
         print_newline ())
       [ (Modes.Direct, "Direct"); (Modes.Flat, "Struct");
-        (Modes.Sorted, "SortedStruct") ]
+        (Modes.Sorted, "SortedStruct") ];
+    if stats then print_stats env
   in
   Cmd.v
     (Cmd.info "modes"
        ~doc:"All five modes side by side (Fig. 9, in Mcycles).")
-    Term.(const run $ sz_arg $ iters_arg $ style_arg)
+    Term.(const run $ sz_arg $ iters_arg $ style_arg $ stats_arg)
 
 let fig6_cmd =
   let run () =
@@ -131,7 +154,9 @@ let fig6_cmd =
 let passes_cmd =
   let run sz =
     let env = Modes.build ~sz () in
-    ignore (Modes.transform env Modes.Flat Modes.Element Modes.LlvmFix);
+    ignore
+      (Modes.transform ~use_memo:false env Modes.Flat Modes.Element
+         Modes.LlvmFix);
     Printf.printf "pass activity while fixating the flat element kernel:\n";
     List.iter
       (fun (name, n) -> Printf.printf "  %-14s %4d\n" name n)

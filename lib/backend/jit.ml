@@ -14,13 +14,17 @@ let install_global (img : Image.t) (g : global) : int =
   a
 
 (** Compile and install one function; returns its entry address.
-    Callees and globals must already be present in the symbol table. *)
+    Callees and globals must already be present in the symbol table.
+    Installation is content-addressed: emitting a function whose
+    item-for-item code was installed before (e.g. a re-run of the same
+    specialization pipeline) reuses the existing copy instead of
+    growing the code region and invalidating caches. *)
 let install_func (img : Image.t) (f : func) : int =
   let items =
     Isel.emit_func ~global_addr:(Image.lookup img)
       ~func_addr:(Image.lookup img) f
   in
-  Image.install_code ~name:f.fname img items
+  Image.install_code ~name:f.fname ~dedup:true img items
 
 (** Install all globals, then all functions in order (callees must
     precede callers in [m.funcs]). *)

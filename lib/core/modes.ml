@@ -36,6 +36,10 @@ type env = {
   img : Image.t;
   w : Stencil.workload;
   modul : Ins.modul; (* the optimized native module *)
+  memo : (string, int) Hashtbl.t;
+  (* transform memo: request fingerprint -> installed kernel address *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 let kernel_name kind style =
@@ -65,7 +69,8 @@ let build ?(sz = 65) ?groups () : env =
       Verify.assert_ok ~ctx:("native compile of " ^ f.fname) f)
     m.funcs;
   ignore (Jit.install_module img m);
-  { img; w; modul = m }
+  { img; w; modul = m; memo = Hashtbl.create 32;
+    memo_hits = 0; memo_misses = 0 }
 
 let stencil_arg env = function
   | Direct | Flat -> env.w.s_flat
@@ -87,15 +92,52 @@ let lift_entry env ~name ~config entry sg =
 
 let o3_opts = { Pipeline.o3 with fast_math = true }
 
+(* Fingerprint of a transformation request: everything the produced
+   kernel depends on.  The fixed-memory contents are digested because
+   LlvmFix/DBrew fold them into the code; the function-valued fields of
+   {!Pipeline.options} (resolve_addr/const_load oracles) are
+   intentionally not part of the key — callers that swap those must
+   bypass the memo. *)
+let transform_key env ~(lift_config : Lift.config)
+    ~(opt : Pipeline.options) kind style t =
+  let lo, hi = stencil_range env kind in
+  let fixed = Mem.read_bytes env.img.Image.cpu.Cpu.mem lo (hi - lo) in
+  Digest.string
+    (Marshal.to_string
+       ( kind, style, t, lift_config,
+         ( opt.Pipeline.level, opt.Pipeline.fast_math,
+           opt.Pipeline.force_vector_width, opt.Pipeline.vector_aligned,
+           opt.Pipeline.inline_threshold, opt.Pipeline.verify_each ),
+         native_addr env kind style, Digest.string fixed )
+       [])
+
+let memo_stats env = (env.memo_hits, env.memo_misses)
+
 (** Apply [t] to the kernel [(kind, style)].  Returns the address of
     the drop-in replacement and the transformation (compile) time in
-    seconds — the quantity of Fig. 10. *)
-let transform ?(lift_config = Lift.default_config)
+    seconds — the quantity of Fig. 10.
+
+    Requests are memoized per environment: a repeated transformation
+    with identical mode, configuration and fixed-memory contents
+    returns the already-installed kernel (the "millions of users"
+    serving path).  [use_memo:false] forces the full pipeline, which
+    Fig. 10 needs to measure real compile times. *)
+let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
     ?(opt = o3_opts) (env : env) (kind : kind) (style : style)
     (t : transform) : int * float =
   let sg = kernel_sig style in
   let orig = native_addr env kind style in
   let t0 = Unix.gettimeofday () in
+  let key =
+    if use_memo then Some (transform_key env ~lift_config ~opt kind style t)
+    else None
+  in
+  match Option.bind key (Hashtbl.find_opt env.memo) with
+  | Some addr ->
+    env.memo_hits <- env.memo_hits + 1;
+    (addr, Unix.gettimeofday () -. t0)
+  | None ->
+  if use_memo then env.memo_misses <- env.memo_misses + 1;
   let addr =
     match t with
     | Native -> orig
@@ -137,7 +179,7 @@ let transform ?(lift_config = Lift.default_config)
       Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
       let lo, hi = stencil_range env kind in
       Api.dbrew_set_mem r lo hi;
-      let a = Api.dbrew_rewrite r in
+      let a = Api.dbrew_rewrite ~memo:use_memo r in
       match r.Api.last_error with
       | Some m -> raise (Transform_failed ("dbrew: " ^ m))
       | None -> a)
@@ -146,7 +188,7 @@ let transform ?(lift_config = Lift.default_config)
       Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
       let lo, hi = stencil_range env kind in
       Api.dbrew_set_mem r lo hi;
-      let a = Api.dbrew_rewrite r in
+      let a = Api.dbrew_rewrite ~memo:use_memo r in
       match r.Api.last_error with
       | Some m -> raise (Transform_failed ("dbrew: " ^ m))
       | None ->
@@ -156,6 +198,7 @@ let transform ?(lift_config = Lift.default_config)
         Verify.assert_ok ~ctx:"dbrew+llvm" f;
         Jit.install_func env.img f)
   in
+  (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());
   (addr, Unix.gettimeofday () -. t0)
 
 (** Restore the matrices to the initial Jacobi state. *)

@@ -28,6 +28,10 @@ type env = {
   img : Image.t;
   w : Obrew_stencil.Stencil.workload;
   modul : Obrew_ir.Ins.modul;
+  memo : (string, int) Hashtbl.t;
+  (** transform memo: request fingerprint -> installed kernel *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
 }
 
 (** Compile the benchmark program with the "static compiler" (minic at
@@ -59,11 +63,20 @@ val o3_opts : Obrew_opt.Pipeline.options
     using mode [t]; returns its address and the transformation time in
     seconds (the Fig. 10 quantity).  [lift_config]/[opt] expose the
     ablation knobs.
+
+    Repeated requests with identical mode, configuration and
+    fixed-memory contents are served from a per-environment memo cache
+    (see {!memo_stats}); pass [use_memo:false] to force the full
+    rewrite/lift/optimize pipeline, e.g. when measuring compile time.
     @raise Transform_failed when the mode cannot handle the kernel. *)
 val transform :
+  ?use_memo:bool ->
   ?lift_config:Obrew_lifter.Lift.config ->
   ?opt:Obrew_opt.Pipeline.options ->
   env -> kind -> style -> transform -> int * float
+
+(** (hits, misses) of the environment's transform memo cache. *)
+val memo_stats : env -> int * int
 
 (** Reset the matrices to the initial boundary-value state. *)
 val reset : env -> unit

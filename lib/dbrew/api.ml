@@ -44,21 +44,95 @@ let dbrew_set_inline_depth r d = r.cfg.Rewriter.inline_depth <- d
     function address to use instead. *)
 let dbrew_set_error_handler r h = r.error_handler <- Some h
 
+(* ------------------------------------------------------------------ *)
+(* Specialization memo cache                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* In the serving scenario the same specialization request arrives over
+   and over (same function, same fixed parameters, same fixed-memory
+   contents); re-running the rewriter each time is pure waste.  The
+   memo cache keys on everything the rewrite depends on — the image,
+   the entry, the rewriter configuration, the bytes of the original
+   function and the bytes of every fixed memory range — and returns the
+   previously installed code.  Because the key includes content
+   digests, installing fresh code over the original entry or mutating a
+   fixed range changes the key and naturally misses. *)
+
+let memo_tbl : (string, int * Insn.item list) Hashtbl.t = Hashtbl.create 64
+
+let memo_hits = ref 0
+let memo_misses = ref 0
+
+(** (hits, misses) of the rewrite memo cache since start/reset. *)
+let memo_stats () = (!memo_hits, !memo_misses)
+
+let memo_reset () =
+  Hashtbl.reset memo_tbl;
+  memo_hits := 0;
+  memo_misses := 0
+
+(* digest of the original function's code: decode until the first ret
+   (bounded), then hash the raw bytes of that extent *)
+let code_digest mem entry =
+  let read = Mem.read_u8 mem in
+  let rec extent a n =
+    if n >= 4096 then a - entry
+    else
+      match Decode.decode ~read a with
+      | Insn.Ret, len -> a + len - entry
+      | _, len -> extent (a + len) (n + 1)
+      | exception _ -> a - entry
+  in
+  Digest.string (Mem.read_bytes mem entry (max (extent entry 0) 1))
+
+let memo_key (r : t) =
+  let mem = r.img.Image.cpu.Cpu.mem in
+  let ranges = List.sort compare r.cfg.Rewriter.mem_ranges in
+  let range_bytes =
+    List.map (fun (lo, hi) -> Mem.read_bytes mem lo (max (hi - lo) 0)) ranges
+  in
+  Digest.string
+    (Marshal.to_string
+       ( r.img.Image.uid, r.entry,
+         List.sort compare r.cfg.Rewriter.params,
+         ranges, range_bytes,
+         r.cfg.Rewriter.inline_depth, r.cfg.Rewriter.max_emit,
+         r.cfg.Rewriter.max_variants,
+         code_digest mem r.entry )
+       [])
+
 (** Rewrite; returns the new function's address (a drop-in replacement
     with the same signature).  On failure the error handler decides;
-    the default returns the original function. *)
-let dbrew_rewrite (r : t) : int =
-  match
-    Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem ~entry:r.entry
-  with
-  | items ->
+    the default returns the original function.  Successful rewrites are
+    memoized: a repeated request with the same entry, configuration and
+    fixed-parameter/memory contents returns the already-installed code
+    without re-running the rewriter ([memo:false] forces a fresh
+    rewrite, e.g. to measure compile time). *)
+let dbrew_rewrite ?(memo = true) (r : t) : int =
+  let key = if memo then Some (memo_key r) else None in
+  match Option.bind key (Hashtbl.find_opt memo_tbl) with
+  | Some (addr, items) ->
+    incr memo_hits;
+    r.last_error <- None;
     r.emitted_items <- items;
-    Image.install_code r.img items
-  | exception Rewriter.Rewrite_failed msg -> (
-    r.last_error <- Some msg;
-    match r.error_handler with
-    | Some h -> h msg
-    | None -> r.entry (* default: fall back to the original *))
+    addr
+  | None -> (
+    if memo then incr memo_misses;
+    match
+      Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem ~entry:r.entry
+    with
+    | items ->
+      r.emitted_items <- items;
+      let addr = Image.install_code ~dedup:true r.img items in
+      (match key with
+       | Some k -> Hashtbl.replace memo_tbl k (addr, items)
+       | None -> ());
+      addr
+    | exception Rewriter.Rewrite_failed msg -> (
+      r.last_error <- Some msg;
+      match r.error_handler with
+      | Some h -> h msg
+      | None -> r.entry (* default: fall back to the original *)))
 
 (** The rewritten code of the last successful {!dbrew_rewrite}, for
     dumps (Fig. 8). *)

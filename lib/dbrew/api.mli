@@ -47,8 +47,20 @@ val dbrew_set_error_handler : t -> (string -> int) -> unit
 
 (** Rewrite and install; returns the new function's address (a drop-in
     replacement with the same signature).  On failure the error handler
-    decides; the default returns the original entry. *)
-val dbrew_rewrite : t -> int
+    decides; the default returns the original entry.
+
+    Successful rewrites are memoized per (image, entry, configuration,
+    original-code digest, fixed-memory contents): a repeated request
+    returns the already-installed code without re-running the
+    rewriter.  [memo:false] forces a fresh rewrite (e.g. to measure
+    transformation time). *)
+val dbrew_rewrite : ?memo:bool -> t -> int
+
+(** (hits, misses) of the specialization memo cache. *)
+val memo_stats : unit -> int * int
+
+(** Drop all memoized rewrites and zero the counters. *)
+val memo_reset : unit -> unit
 
 (** Assembly items of the last successful rewrite (for Fig. 8-style
     dumps). *)

@@ -85,3 +85,9 @@ let mem_cost c (i : insn) =
   | _ -> 0
 
 let insn_cost c i = base c i + mem_cost c i
+
+(** Static per-instruction costs for a pre-decoded block (the dynamic
+    branch-direction and misalignment penalties are added by the CPU at
+    execution time). *)
+let insn_costs c (insns : insn array) : int array =
+  Array.map (insn_cost c) insns

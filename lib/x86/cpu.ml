@@ -1,6 +1,21 @@
 (** x86-64 emulator: executes decoded instructions against a paged
     memory, tracking a cycle count through {!Cost}.  This is the
-    "hardware" on which all five benchmark modes run. *)
+    "hardware" on which all five benchmark modes run.
+
+    Two execution engines share the same instruction semantics
+    ({!exec}) and therefore the same architectural state and cycle
+    accounting:
+
+    - the single-step interpreter ({!step}/{!run_interp}), which
+      re-fetches through the per-address decode cache on every
+      instruction, and
+    - the translation-block engine ({!run}), which pre-decodes
+      straight-line superblocks into flat arrays with precomputed
+      per-instruction cycle costs and executes them with an inner loop
+      that touches neither a hash table nor the decoder.  Blocks are
+      chained: each block keeps a small inline cache of successor
+      blocks, so steady-state loops run entirely inside the code
+      cache. *)
 
 open Insn
 
@@ -8,7 +23,27 @@ exception Emu_error of string
 
 let err fmt = Printf.ksprintf (fun s -> raise (Emu_error s)) fmt
 
-type t = {
+(** A pre-decoded straight-line superblock: all instructions up to and
+    including the first control-flow instruction (or a size cap),
+    starting at [sb_entry] and covering bytes [sb_entry, sb_end). *)
+type sblock = {
+  sb_entry : int;
+  sb_insns : insn array;
+  sb_ops : op_fn array;           (* translated instructions *)
+  sb_rips : int array;            (* rip after each instruction *)
+  sb_costs : int array;           (* static Cost.insn_cost per insn *)
+  sb_static : int;                (* sum of sb_costs *)
+  sb_end : int;                   (* first byte past the block *)
+  mutable sb_valid : bool;        (* cleared by flush_code *)
+  mutable sb_link1 : sblock option; (* chained successors *)
+  mutable sb_link2 : sblock option;
+}
+
+(* a translated instruction: executes against the CPU state and
+   returns the dynamic cycle penalty *)
+and op_fn = t -> int
+
+and t = {
   mem : Mem.t;
   regs : int64 array;          (* 16 GPRs *)
   xlo : int64 array;           (* xmm low halves *)
@@ -25,6 +60,12 @@ type t = {
   mutable cycles : int;
   mutable icount : int;
   code : (int, insn * int) Hashtbl.t; (* decode cache *)
+  blocks : (int, sblock) Hashtbl.t;   (* superblock cache, by entry *)
+  mutable sb_hits : int;
+  mutable sb_misses : int;
+  mutable sb_flushes : int;
+  mutable sb_chained : int;    (* block transitions served by a chain link *)
+  mutable pen : int;           (* scratch penalty accumulator of exec *)
   cost : Cost.t;
 }
 
@@ -33,7 +74,9 @@ let create ?(cost = Cost.default) () =
     xlo = Array.make 16 0L; xhi = Array.make 16 0L; rip = 0;
     zf = false; sf = false; cf = false; o_f = false; pf = false; af = false;
     fs_base = 0; gs_base = 0; cycles = 0; icount = 0;
-    code = Hashtbl.create 512; cost }
+    code = Hashtbl.create 512; blocks = Hashtbl.create 256;
+    sb_hits = 0; sb_misses = 0; sb_flushes = 0; sb_chained = 0;
+    pen = 0; cost }
 
 (* -------- scalar helpers -------- *)
 
@@ -263,19 +306,70 @@ let fetch cpu addr =
     Hashtbl.replace cpu.code addr r;
     r
 
-(** Invalidate the decode cache (after writing fresh code to memory). *)
-let flush_code cpu = Hashtbl.reset cpu.code
+(* the longest x86-64 instruction: an insn starting up to this many
+   bytes before an overwritten range may still cover it *)
+let max_insn_len = 15
+
+(** Invalidate the code caches after writing fresh code to memory.
+    With [range = (lo, hi)] only decoded instructions and superblocks
+    whose bytes overlap [lo, hi) are dropped (plus chain links into
+    them, which die with the block's validity bit); without it both
+    caches are cleared entirely. *)
+let flush_code ?range cpu =
+  cpu.sb_flushes <- cpu.sb_flushes + 1;
+  match range with
+  | None ->
+    Hashtbl.reset cpu.code;
+    Hashtbl.iter (fun _ b -> b.sb_valid <- false) cpu.blocks;
+    Hashtbl.reset cpu.blocks
+  | Some (lo, hi) ->
+    let doomed_insns =
+      Hashtbl.fold
+        (fun a _ acc -> if a > lo - max_insn_len && a < hi then a :: acc else acc)
+        cpu.code []
+    in
+    List.iter (Hashtbl.remove cpu.code) doomed_insns;
+    let doomed_blocks =
+      Hashtbl.fold
+        (fun e b acc -> if b.sb_end > lo && e < hi then (e, b) :: acc else acc)
+        cpu.blocks []
+    in
+    List.iter
+      (fun (e, b) ->
+        b.sb_valid <- false;
+        Hashtbl.remove cpu.blocks e)
+      doomed_blocks
+
+type cache_stats = {
+  block_hits : int;      (* superblock served from the cache *)
+  block_misses : int;    (* superblock built (pre-decoded) *)
+  block_flushes : int;   (* flush_code invocations *)
+  block_chained : int;   (* transitions resolved by a chain link *)
+  blocks_live : int;     (* blocks currently cached *)
+}
+
+let cache_stats cpu =
+  { block_hits = cpu.sb_hits; block_misses = cpu.sb_misses;
+    block_flushes = cpu.sb_flushes; block_chained = cpu.sb_chained;
+    blocks_live = Hashtbl.length cpu.blocks }
+
+let reset_cache_stats cpu =
+  cpu.sb_hits <- 0; cpu.sb_misses <- 0;
+  cpu.sb_flushes <- 0; cpu.sb_chained <- 0
 
 let target_addr = function
   | Abs a -> a
   | Lbl l -> err "cannot execute unresolved label .L%d" l
 
+(* The dynamic penalty (branch direction, vector misalignment) is
+   accumulated in [cpu.pen] rather than a local [ref] so that the hot
+   loop performs no per-instruction allocation. *)
 let exec cpu (i : insn) =
   let c = cpu.cost in
-  let penalty = ref 0 in
+  cpu.pen <- 0;
   let check_align16 m =
     let a = resolve cpu m in
-    if not (is_16aligned a) then penalty := !penalty + c.unaligned_vec
+    if not (is_16aligned a) then cpu.pen <- cpu.pen + c.unaligned_vec
   in
   (match i with
    | Mov (w, dst, src) -> write_op cpu w dst (read_op cpu w src)
@@ -444,9 +538,9 @@ let exec cpu (i : insn) =
    | Jcc (cc, t) ->
      if cond cpu cc then begin
        cpu.rip <- target_addr t;
-       penalty := !penalty + c.branch_taken
+       cpu.pen <- cpu.pen + c.branch_taken
      end
-     else penalty := !penalty + c.branch_not_taken
+     else cpu.pen <- cpu.pen + c.branch_not_taken
    | Cmov (cc, w, dst, src) ->
      (* the load happens regardless of the condition *)
      let v = read_op cpu w src in
@@ -597,7 +691,7 @@ let exec cpu (i : insn) =
    | Nop _ -> ()
    | Ud2 -> err "ud2 executed"
    | Int3 -> err "int3 executed");
-  !penalty
+  cpu.pen
 
 let step cpu =
   let i, len = fetch cpu cpu.rip in
@@ -606,13 +700,358 @@ let step cpu =
   cpu.icount <- cpu.icount + 1;
   cpu.cycles <- cpu.cycles + Cost.insn_cost cpu.cost i + penalty
 
+(* -------- instruction translation -------- *)
+
+(* [translate] pre-compiles one decoded instruction into a closure
+   with operand kinds, register indices, widths and immediates
+   resolved at translation time, so the block engine's inner loop pays
+   neither the outer instruction dispatch nor the per-access operand
+   matches.  Every closure returns the dynamic cycle penalty, exactly
+   like {!exec}, and semantics are kept identical by reusing the same
+   flag/memory helpers; infrequent forms simply fall back to [exec]. *)
+
+let rd_operand w (op : operand) : t -> int64 =
+  match op with
+  | OReg r ->
+    let i = Reg.index r in
+    (match w with
+     | W64 -> fun cpu -> Array.unsafe_get cpu.regs i
+     | _ -> fun cpu -> trunc w cpu.regs.(i))
+  | OReg8H r -> fun cpu -> get_reg8h cpu r
+  | OImm v -> let v = trunc w v in fun _ -> v
+  | OMem m -> fun cpu -> load cpu w (resolve cpu m)
+
+let wr_operand w (op : operand) : t -> int64 -> unit =
+  match op with
+  | OReg r ->
+    let i = Reg.index r in
+    (match w with
+     | W64 -> fun cpu v -> Array.unsafe_set cpu.regs i v
+     | W32 -> fun cpu v -> cpu.regs.(i) <- trunc W32 v
+     | _ -> fun cpu v -> set_reg cpu w r v)
+  | OReg8H r -> fun cpu v -> set_reg8h cpu r v
+  | OMem m -> fun cpu v -> store cpu w (resolve cpu m) v
+  | OImm _ -> fun _ _ -> err "cannot write to an immediate"
+
+let fp_fun = function
+  | FAdd -> ( +. )
+  | FSub -> ( -. )
+  | FMul -> ( *. )
+  | FDiv -> ( /. )
+  | FMin -> fun a b -> if a < b then a else b
+  | FMax -> fun a b -> if a > b then a else b
+  | FSqrt -> fun _ b -> sqrt b
+
+let translate (c : Cost.t) (i : insn) : t -> int =
+  match i with
+  | Mov (W64, OReg d, OReg s) ->
+    let d = Reg.index d and s = Reg.index s in
+    fun cpu -> cpu.regs.(d) <- cpu.regs.(s); 0
+  | Mov (w, dst, src) ->
+    let rd = rd_operand w src and wr = wr_operand w dst in
+    fun cpu -> wr cpu (rd cpu); 0
+  | Movabs (r, v) ->
+    let d = Reg.index r in
+    fun cpu -> cpu.regs.(d) <- v; 0
+  | Movzx (dw, dst, sw, src) ->
+    let rd = rd_operand sw src in
+    fun cpu -> set_reg cpu dw dst (rd cpu); 0
+  | Movsx (dw, dst, sw, src) ->
+    let rd = rd_operand sw src in
+    fun cpu -> set_reg cpu dw dst (trunc dw (sext sw (rd cpu))); 0
+  | Lea (dst, m) ->
+    let d = Reg.index dst and m = { m with seg = None } in
+    fun cpu -> cpu.regs.(d) <- effective cpu m; 0
+  | Alu (op, w, dst, src) ->
+    let rd_d = rd_operand w dst and rd_s = rd_operand w src in
+    let wr_d = wr_operand w dst in
+    (match op with
+     | Add ->
+       fun cpu ->
+         let a = rd_d cpu in
+         let b = rd_s cpu in
+         let r = trunc w (Int64.add a b) in
+         flags_add cpu w a b r; wr_d cpu r; 0
+     | Sub ->
+       fun cpu ->
+         let a = rd_d cpu in
+         let b = rd_s cpu in
+         let r = trunc w (Int64.sub a b) in
+         flags_sub cpu w a b r; wr_d cpu r; 0
+     | Cmp ->
+       fun cpu ->
+         let a = rd_d cpu in
+         let b = rd_s cpu in
+         flags_sub cpu w a b (trunc w (Int64.sub a b)); 0
+     | And ->
+       fun cpu ->
+         let r = Int64.logand (rd_d cpu) (rd_s cpu) in
+         flags_logic cpu w r; wr_d cpu r; 0
+     | Or ->
+       fun cpu ->
+         let r = Int64.logor (rd_d cpu) (rd_s cpu) in
+         flags_logic cpu w r; wr_d cpu r; 0
+     | Xor ->
+       fun cpu ->
+         let r = Int64.logxor (rd_d cpu) (rd_s cpu) in
+         flags_logic cpu w r; wr_d cpu r; 0
+     | Adc | Sbb -> (fun cpu -> exec cpu i))
+  | Test (w, a, b) ->
+    let rd_a = rd_operand w a and rd_b = rd_operand w b in
+    fun cpu -> flags_logic cpu w (Int64.logand (rd_a cpu) (rd_b cpu)); 0
+  | Unop (op, w, dst) ->
+    let rd = rd_operand w dst and wr = wr_operand w dst in
+    (match op with
+     | Inc ->
+       fun cpu ->
+         let a = rd cpu in
+         let r = trunc w (Int64.add a 1L) in
+         let cf = cpu.cf in
+         flags_add cpu w a 1L r;
+         cpu.cf <- cf; wr cpu r; 0
+     | Dec ->
+       fun cpu ->
+         let a = rd cpu in
+         let r = trunc w (Int64.sub a 1L) in
+         let cf = cpu.cf in
+         flags_sub cpu w a 1L r;
+         cpu.cf <- cf; wr cpu r; 0
+     | Not -> (fun cpu -> wr cpu (trunc w (Int64.lognot (rd cpu))); 0)
+     | Neg -> (fun cpu -> exec cpu i))
+  | Push src ->
+    let rd = rd_operand W64 src in
+    fun cpu -> push64 cpu (rd cpu); 0
+  | Pop dst ->
+    let wr = wr_operand W64 dst in
+    fun cpu -> wr cpu (pop64 cpu); 0
+  | Call (Abs a) ->
+    fun cpu ->
+      push64 cpu (Int64.of_int cpu.rip);
+      cpu.rip <- a; 0
+  | CallInd op ->
+    let rd = rd_operand W64 op in
+    fun cpu ->
+      let tgt = Int64.to_int (rd cpu) land addr_mask in
+      push64 cpu (Int64.of_int cpu.rip);
+      cpu.rip <- tgt; 0
+  | Ret -> (fun cpu -> cpu.rip <- Int64.to_int (pop64 cpu) land addr_mask; 0)
+  | Jmp (Abs a) -> (fun cpu -> cpu.rip <- a; 0)
+  | JmpInd op ->
+    let rd = rd_operand W64 op in
+    fun cpu -> cpu.rip <- Int64.to_int (rd cpu) land addr_mask; 0
+  | Jcc (cc, Abs a) ->
+    let taken = c.branch_taken and not_taken = c.branch_not_taken in
+    fun cpu ->
+      if cond cpu cc then begin cpu.rip <- a; taken end
+      else not_taken
+  | Cmov (cc, w, dst, src) ->
+    let rd = rd_operand w src in
+    (match w with
+     | W32 ->
+       fun cpu ->
+         let v = rd cpu in
+         if cond cpu cc then set_reg cpu W32 dst v
+         else set_reg cpu W32 dst (get_reg cpu W32 dst);
+         0
+     | _ ->
+       fun cpu ->
+         let v = rd cpu in
+         if cond cpu cc then set_reg cpu w dst v;
+         0)
+  | Setcc (cc, dst) ->
+    let wr = wr_operand W8 dst in
+    fun cpu -> wr cpu (if cond cpu cc then 1L else 0L); 0
+  | Imul2 (w, dst, src) ->
+    let rd = rd_operand w src in
+    fun cpu ->
+      let a = sext w (get_reg cpu w dst) in
+      let b = sext w (rd cpu) in
+      let p = Int64.mul a b in
+      let r = trunc w p in
+      let ovf = sext w r <> p || (w = W64 && a <> 0L && Int64.div p a <> b) in
+      set_szp cpu w r;
+      cpu.cf <- ovf; cpu.o_f <- ovf; cpu.af <- false;
+      set_reg cpu w dst r; 0
+  | SseMov (Movsd, Xr d, Xr s) ->
+    fun cpu -> cpu.xlo.(d) <- cpu.xlo.(s); 0
+  | SseMov (Movsd, Xr d, Xm m) ->
+    fun cpu ->
+      cpu.xlo.(d) <- Mem.read_u64 cpu.mem (resolve cpu m);
+      cpu.xhi.(d) <- 0L; 0
+  | SseMov (Movsd, Xm m, Xr s) ->
+    fun cpu -> Mem.write_u64 cpu.mem (resolve cpu m) cpu.xlo.(s); 0
+  | SseMov (Movq, Xr d, Xr s) ->
+    fun cpu ->
+      cpu.xlo.(d) <- cpu.xlo.(s);
+      cpu.xhi.(d) <- 0L; 0
+  | SseMov ((Movups | Movupd | Movdqu), Xr d, Xm m) ->
+    let up = c.unaligned_vec in
+    fun cpu ->
+      let a = resolve cpu m in
+      cpu.xlo.(d) <- Mem.read_u64 cpu.mem a;
+      cpu.xhi.(d) <- Mem.read_u64 cpu.mem (a + 8);
+      if is_16aligned a then 0 else up
+  | SseMov ((Movups | Movupd | Movdqu), Xm m, Xr s) ->
+    let up = c.unaligned_vec in
+    fun cpu ->
+      let a = resolve cpu m in
+      Mem.write_u64 cpu.mem a cpu.xlo.(s);
+      Mem.write_u64 cpu.mem (a + 8) cpu.xhi.(s);
+      if is_16aligned a then 0 else up
+  | MovqXR (x, r) ->
+    let r = Reg.index r in
+    fun cpu ->
+      cpu.xlo.(x) <- cpu.regs.(r);
+      cpu.xhi.(x) <- 0L; 0
+  | MovqRX (r, x) ->
+    let r = Reg.index r in
+    fun cpu -> cpu.regs.(r) <- cpu.xlo.(x); 0
+  | SseArith (op, Sd, dst, src) ->
+    let f = fp_fun op in
+    (match src with
+     | Xr s ->
+       fun cpu ->
+         cpu.xlo.(dst) <- b64 (f (f64 cpu.xlo.(dst)) (f64 cpu.xlo.(s))); 0
+     | Xm m ->
+       fun cpu ->
+         let b = f64 (Mem.read_u64 cpu.mem (resolve cpu m)) in
+         cpu.xlo.(dst) <- b64 (f (f64 cpu.xlo.(dst)) b); 0)
+  | SseArith (op, Pd, dst, (Xr _ as src)) ->
+    (* register source: no alignment penalty possible *)
+    let f = fp_fun op in
+    fun cpu ->
+      let slo, shi = xop_load128 cpu src in
+      cpu.xlo.(dst) <- b64 (f (f64 cpu.xlo.(dst)) (f64 slo));
+      cpu.xhi.(dst) <- b64 (f (f64 cpu.xhi.(dst)) (f64 shi));
+      0
+  | SseLogic (op, dst, (Xr _ as src)) ->
+    let f =
+      match op with
+      | Pxor | Xorps | Xorpd -> Int64.logxor
+      | Pand | Andps | Andpd -> Int64.logand
+      | Por -> Int64.logor
+    in
+    fun cpu ->
+      let slo, shi = xop_load128 cpu src in
+      cpu.xlo.(dst) <- f cpu.xlo.(dst) slo;
+      cpu.xhi.(dst) <- f cpu.xhi.(dst) shi;
+      0
+  | Nop _ -> (fun _ -> 0)
+  | _ -> (fun cpu -> exec cpu i)
+
+(* -------- translation-block engine -------- *)
+
+(* cap on pre-decoded instructions per superblock; straight-line runs
+   longer than this are split into consecutive (chained) blocks *)
+let max_block_insns = 256
+
+let build_block cpu entry : sblock =
+  let run = Decode.decode_run ~fetch:(fetch cpu) entry ~max:max_block_insns in
+  let n = List.length run in
+  let insns = Array.make n Ret and rips = Array.make n 0 in
+  List.iteri
+    (fun k (i, next) ->
+      insns.(k) <- i;
+      rips.(k) <- next)
+    run;
+  let costs = Cost.insn_costs cpu.cost insns in
+  { sb_entry = entry; sb_insns = insns;
+    sb_ops = Array.map (translate cpu.cost) insns;
+    sb_rips = rips; sb_costs = costs;
+    sb_static = Array.fold_left ( + ) 0 costs; sb_end = rips.(n - 1);
+    sb_valid = true; sb_link1 = None; sb_link2 = None }
+
+let lookup_block cpu addr : sblock =
+  match Hashtbl.find_opt cpu.blocks addr with
+  | Some b when b.sb_valid ->
+    cpu.sb_hits <- cpu.sb_hits + 1;
+    b
+  | _ ->
+    cpu.sb_misses <- cpu.sb_misses + 1;
+    let b = build_block cpu addr in
+    Hashtbl.replace cpu.blocks addr b;
+    b
+
+(* Execute one superblock.  Observably equivalent to {!step}-ing
+   through it — rip is advanced past the instruction before it
+   executes (calls push it, non-taken Jcc falls through to it) — but
+   fetch, decode and the static cost computation are all hoisted out
+   of the loop, and cycles/icount are written back once per block
+   (with the executed prefix accounted exactly if an instruction
+   faults). *)
+let exec_block cpu (b : sblock) =
+  let ops = b.sb_ops and rips = b.sb_rips in
+  let n = Array.length ops in
+  let penalties = ref 0 in
+  let k = ref 0 in
+  (try
+     while !k < n do
+       cpu.rip <- Array.unsafe_get rips !k;
+       penalties := !penalties + (Array.unsafe_get ops !k) cpu;
+       incr k
+     done
+   with e ->
+     (* per-insn accounting for the prefix before the fault, exactly
+        as the single-step engine leaves it *)
+     let static = ref 0 in
+     for j = 0 to !k - 1 do static := !static + b.sb_costs.(j) done;
+     cpu.icount <- cpu.icount + !k;
+     cpu.cycles <- cpu.cycles + !static + !penalties;
+     raise e);
+  cpu.icount <- cpu.icount + n;
+  cpu.cycles <- cpu.cycles + b.sb_static + !penalties
+
+(* Successor lookup through the block's inline cache: a chain link is
+   used only if it is still valid and its entry matches the live rip,
+   so links survive neither a flush nor a divergent indirect target. *)
+let next_block cpu (prev : sblock) addr : sblock =
+  match prev.sb_link1 with
+  | Some b when b.sb_entry = addr && b.sb_valid ->
+    cpu.sb_chained <- cpu.sb_chained + 1;
+    b
+  | _ ->
+    (match prev.sb_link2 with
+     | Some b when b.sb_entry = addr && b.sb_valid ->
+       cpu.sb_chained <- cpu.sb_chained + 1;
+       b
+     | _ ->
+       let b = lookup_block cpu addr in
+       (* direct branches have at most two successors (taken /
+          fall-through), so two slots capture them; indirect
+          transitions degrade to a monomorphic inline cache *)
+       (match prev.sb_link1 with
+        | None -> prev.sb_link1 <- Some b
+        | Some l1 when not l1.sb_valid -> prev.sb_link1 <- Some b
+        | Some _ -> prev.sb_link2 <- Some b);
+       b)
+
 (** Magic return address that stops {!run}. *)
 let stop_addr = 0xDEAD0000
 
 exception Step_limit_exceeded
 
-(** Run until control returns to {!stop_addr}. *)
+(** Run until control returns to {!stop_addr}, one superblock at a
+    time.  [max_steps] bounds executed instructions; the overshoot
+    before the check is at most one block. *)
 let run ?(max_steps = 2_000_000_000) cpu =
+  let steps = ref 0 in
+  if cpu.rip <> stop_addr then begin
+    let blk = ref (lookup_block cpu cpu.rip) in
+    let continue = ref true in
+    while !continue do
+      let b = !blk in
+      exec_block cpu b;
+      steps := !steps + Array.length b.sb_insns;
+      if !steps > max_steps then raise Step_limit_exceeded;
+      if cpu.rip = stop_addr then continue := false
+      else blk := next_block cpu b cpu.rip
+    done
+  end
+
+(** Run until {!stop_addr} strictly one instruction at a time through
+    the decode cache — the reference engine the superblock engine is
+    differentially tested against. *)
+let run_interp ?(max_steps = 2_000_000_000) cpu =
   let steps = ref 0 in
   while cpu.rip <> stop_addr do
     step cpu;
@@ -620,10 +1059,15 @@ let run ?(max_steps = 2_000_000_000) cpu =
     if !steps > max_steps then raise Step_limit_exceeded
   done
 
+(** Execution engine selector for {!call}: the superblock engine is
+    the default; [SingleStep] forces the per-instruction interpreter
+    (used by the differential tests). *)
+type engine = Superblocks | SingleStep
+
 (** Call the function at [fn] following the System V ABI: integer/
     pointer arguments in rdi..., floating point arguments in xmm0...;
     returns (rax, xmm0-as-float). *)
-let call ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
+let call ?(engine = Superblocks) ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
   List.iteri
     (fun i v ->
       match List.nth_opt Reg.arg_regs i with
@@ -642,5 +1086,7 @@ let call ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
   cpu.regs.(rsp_i) <- Int64.of_int sp;
   push64 cpu (Int64.of_int stop_addr);
   cpu.rip <- fn;
-  run ?max_steps cpu;
+  (match engine with
+   | Superblocks -> run ?max_steps cpu
+   | SingleStep -> run_interp ?max_steps cpu);
   (cpu.regs.(0), Int64.float_of_bits cpu.xlo.(0))

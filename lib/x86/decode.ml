@@ -438,3 +438,23 @@ let decode_all ~base (code : string) : (int * insn) list =
       go (a + len) ((a, i) :: acc)
   in
   go base []
+
+(** True for instructions that end a straight-line superblock: anything
+    that writes [rip] non-sequentially, plus traps. *)
+let is_terminator : insn -> bool = function
+  | Call _ | CallInd _ | Ret | Jmp _ | JmpInd _ | Jcc _ | Ud2 | Int3 -> true
+  | _ -> false
+
+(** [decode_run ~read ~fetch addr ~max] decodes the straight-line run
+    starting at [addr]: up to [max] instructions, stopping after the
+    first terminator (see {!is_terminator}).  [fetch] may serve decoded
+    instructions from a cache; it must agree with [read].  Returns the
+    instructions paired with the address of the {e next} instruction. *)
+let decode_run ~fetch addr ~max : (insn * int) list =
+  let rec go a n acc =
+    let (i : insn), len = fetch a in
+    let acc = (i, a + len) :: acc in
+    if is_terminator i || n + 1 >= max then List.rev acc
+    else go (a + len) (n + 1) acc
+  in
+  go addr 0 []

@@ -3,11 +3,15 @@
     setup.  Plays the role of the process image / JIT memory manager. *)
 
 type t = {
+  uid : int;                       (* unique per image, for memo keys *)
   cpu : Cpu.t;
   mutable next_code : int;
   mutable next_data : int;
   symbols : (string, int) Hashtbl.t;
   mutable stack_top : int;
+  code_memo : (string, int) Hashtbl.t; (* item-digest -> installed addr *)
+  mutable install_hits : int;
+  mutable install_misses : int;
 }
 
 let code_base = 0x0040_0000
@@ -15,11 +19,15 @@ let data_base = 0x1000_0000
 let stack_base = 0x7F00_0000
 let stack_size = 0x10_0000 (* 1 MiB *)
 
+let next_uid = ref 0
+
 let create ?cost () =
   let cpu = Cpu.create ?cost () in
+  incr next_uid;
   let t =
-    { cpu; next_code = code_base; next_data = data_base;
-      symbols = Hashtbl.create 32; stack_top = stack_base }
+    { uid = !next_uid; cpu; next_code = code_base; next_data = data_base;
+      symbols = Hashtbl.create 32; stack_top = stack_base;
+      code_memo = Hashtbl.create 64; install_hits = 0; install_misses = 0 }
   in
   Cpu.set_reg cpu Insn.W64 Reg.RSP (Int64.of_int stack_base);
   t
@@ -45,22 +53,39 @@ let lookup t name =
 
 (** Assemble [items] at the next code address, write the bytes into
     emulated memory and return the entry address.  If [name] is given
-    the address is also recorded in the symbol table. *)
-let install_code ?name t (items : Insn.item list) =
-  let base = align_up t.next_code 16 in
-  let bytes, _, _ = Encode.assemble ~base items in
-  Mem.write_bytes t.cpu.Cpu.mem base bytes;
-  t.next_code <- base + String.length bytes;
-  Cpu.flush_code t.cpu;
-  (match name with Some n -> define t n base | None -> ());
-  base
+    the address is also recorded in the symbol table.  Only the caches
+    covering the freshly written range are invalidated, so unrelated
+    superblocks (and their chain links) survive the install.
+
+    With [dedup] the install is content-addressed: if the exact same
+    item sequence was installed before, its address is reused (and
+    re-bound to [name]) instead of emitting a duplicate copy. *)
+let install_code ?name ?(dedup = false) t (items : Insn.item list) =
+  let key =
+    if dedup then Some (Digest.string (Marshal.to_string items [])) else None
+  in
+  match Option.bind key (Hashtbl.find_opt t.code_memo) with
+  | Some addr ->
+    t.install_hits <- t.install_hits + 1;
+    (match name with Some n -> define t n addr | None -> ());
+    addr
+  | None ->
+    t.install_misses <- t.install_misses + 1;
+    let base = align_up t.next_code 16 in
+    let bytes, _, _ = Encode.assemble ~base items in
+    Mem.write_bytes t.cpu.Cpu.mem base bytes;
+    t.next_code <- base + String.length bytes;
+    Cpu.flush_code ~range:(base, t.next_code) t.cpu;
+    (match name with Some n -> define t n base | None -> ());
+    (match key with Some k -> Hashtbl.replace t.code_memo k base | None -> ());
+    base
 
 (** Raw code bytes (e.g. produced by re-encoding a DBrew result). *)
 let install_bytes ?name t (bytes : string) =
   let base = align_up t.next_code 16 in
   Mem.write_bytes t.cpu.Cpu.mem base bytes;
   t.next_code <- base + String.length bytes;
-  Cpu.flush_code t.cpu;
+  Cpu.flush_code ~range:(base, t.next_code) t.cpu;
   (match name with Some n -> define t n base | None -> ());
   base
 
@@ -99,8 +124,8 @@ let disassemble_fn t addr =
   in
   go addr []
 
-let call ?args ?fargs ?max_steps t ~fn =
-  Cpu.call ?args ?fargs ?max_steps t.cpu ~fn
+let call ?engine ?args ?fargs ?max_steps t ~fn =
+  Cpu.call ?engine ?args ?fargs ?max_steps t.cpu ~fn
 
 (** Run [f] and report the cycle/instruction counts it consumed. *)
 let measure t f =

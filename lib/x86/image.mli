@@ -4,11 +4,16 @@
     memory manager. *)
 
 type t = {
+  uid : int;  (** unique per image; memo caches key on it *)
   cpu : Cpu.t;
   mutable next_code : int;
   mutable next_data : int;
   symbols : (string, int) Hashtbl.t;
   mutable stack_top : int;
+  code_memo : (string, int) Hashtbl.t;
+  (** content-addressed install cache: item-list digest -> address *)
+  mutable install_hits : int;
+  mutable install_misses : int;
 }
 
 val code_base : int
@@ -30,9 +35,12 @@ val define : t -> string -> int -> unit
 val lookup : t -> string -> int
 
 (** Assemble [items] at the next code address, write the machine-code
-    bytes into emulated memory, flush the decode cache and return the
-    entry address (recorded under [name] if given). *)
-val install_code : ?name:string -> t -> Insn.item list -> int
+    bytes into emulated memory, drop the code caches covering the
+    written range and return the entry address (recorded under [name]
+    if given).  [dedup] makes the install content-addressed: an
+    identical item sequence installed earlier is reused instead of
+    duplicated. *)
+val install_code : ?name:string -> ?dedup:bool -> t -> Insn.item list -> int
 
 (** Install raw machine-code bytes. *)
 val install_bytes : ?name:string -> t -> string -> int
@@ -48,8 +56,11 @@ val disassemble : t -> int -> int -> (int * Insn.insn) list
 val disassemble_fn : t -> int -> (int * Insn.insn) list
 
 (** Call the function at [fn] per the System V ABI (integer args in
-    rdi..., float args in xmm0...); returns (rax, xmm0 as float). *)
+    rdi..., float args in xmm0...); returns (rax, xmm0 as float).
+    [engine] selects the superblock engine (default) or the
+    single-step interpreter. *)
 val call :
+  ?engine:Cpu.engine ->
   ?args:int64 list -> ?fargs:float list -> ?max_steps:int ->
   t -> fn:int -> int64 * float
 

@@ -279,6 +279,62 @@ let test_cmov_specialization () =
   check ci64 "max(3,5)" 5L n;
   check cint "constant function" 2 (insn_count img fn')
 
+(* ---------- specialization memo cache ---------- *)
+
+let test_rewrite_memo () =
+  Api.memo_reset ();
+  let img = Image.create () in
+  let fn = Image.install_code img linear_code in
+  let specialize v =
+    let r = Api.dbrew_new img fn in
+    Api.dbrew_set_par r 1 v;
+    Api.dbrew_rewrite r
+  in
+  let a1 = specialize 21L in
+  check cint "first request misses" 0 (fst (Api.memo_stats ()));
+  let a2 = specialize 21L in
+  check cint "repeat hits the memo" 1 (fst (Api.memo_stats ()));
+  check cint "same installed code" a1 a2;
+  let n, _ = Image.call img ~fn:a2 ~args:[ 100L; 999L ] in
+  check ci64 "memoized result correct" 142L n;
+  (* a different fixed value is a different key *)
+  let a3 = specialize 30L in
+  check cint "changed param misses" 2 (snd (Api.memo_stats ()));
+  let n3, _ = Image.call img ~fn:a3 ~args:[ 100L; 999L ] in
+  check ci64 "new specialization correct" 160L n3;
+  (* memo:false bypasses the cache entirely *)
+  let r = Api.dbrew_new img fn in
+  Api.dbrew_set_par r 1 21L;
+  ignore (Api.dbrew_rewrite ~memo:false r);
+  check cint "bypass does not hit" 1 (fst (Api.memo_stats ()));
+  (* overwriting the original code changes its digest: no stale hit *)
+  let bytes, _, _ =
+    Encode.assemble ~base:fn
+      [ I (Lea (Reg.RAX, mem_bi Reg.RDI Reg.RSI S4)); I Ret ]
+  in
+  Mem.write_bytes img.Image.cpu.Cpu.mem fn bytes;
+  Cpu.flush_code ~range:(fn, fn + String.length bytes) img.Image.cpu;
+  let a4 = specialize 21L in
+  check cint "patched code misses" 3 (snd (Api.memo_stats ()));
+  let n4, _ = Image.call img ~fn:a4 ~args:[ 100L; 999L ] in
+  check ci64 "respecialized against new code" 184L n4
+
+let test_transform_memo () =
+  let open Obrew_core in
+  let env = Modes.build ~sz:17 () in
+  let a1, _ = Modes.transform env Modes.Flat Modes.Element Modes.DBrewLlvm in
+  check cint "first request misses" 0 (fst (Modes.memo_stats env));
+  let a2, _ = Modes.transform env Modes.Flat Modes.Element Modes.DBrewLlvm in
+  check cint "repeat hits the memo" 1 (fst (Modes.memo_stats env));
+  check cint "same kernel address" a1 a2;
+  let c1, _ = Modes.run env Modes.Flat Modes.Element ~kernel:a1 ~iters:2 in
+  let c2, _ = Modes.run env Modes.Flat Modes.Element ~kernel:a2 ~iters:2 in
+  check cint "memoized kernel runs identically" c1 c2;
+  (* use_memo:false forces the full pipeline and does not count a hit *)
+  ignore (Modes.transform ~use_memo:false env Modes.Flat Modes.Element
+            Modes.DBrewLlvm);
+  check cint "bypass does not hit" 1 (fst (Modes.memo_stats env))
+
 (* ---------- property-based differential testing ---------- *)
 
 (* random straight-line programs over rax/rcx/rdx/rsi/rdi with a random
@@ -414,7 +470,11 @@ let run_suites () =
          Alcotest.test_case "sse + addr folding" `Quick
            test_sse_passthrough_with_folding;
          Alcotest.test_case "error fallback" `Quick test_error_fallback;
-         Alcotest.test_case "cmov" `Quick test_cmov_specialization ]) ]
+         Alcotest.test_case "cmov" `Quick test_cmov_specialization ]);
+      ("memo",
+       [ Alcotest.test_case "rewrite memo cache" `Quick test_rewrite_memo;
+         Alcotest.test_case "transform memo cache" `Quick
+           test_transform_memo ]) ]
 
 
 let () = run_suites ()

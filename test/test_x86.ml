@@ -441,6 +441,149 @@ let test_stack_alignment () =
   let r, _ = Image.call img ~fn in
   check ci64 "rsp % 16 == 8 at entry" 8L r
 
+(* ---------- code-cache invalidation ---------- *)
+
+let test_code_cache_invalidation () =
+  let img = fresh () in
+  let cpu = img.Image.cpu in
+  let fn =
+    Image.install_code img [ I (Mov (W64, OReg Reg.RAX, OImm 1L)); I Ret ]
+  in
+  let r, _ = Image.call img ~fn in
+  check ci64 "original code" 1L r;
+  (* overwrite the installed bytes in place, behind install_code's
+     back; the stale superblock keeps executing the old code *)
+  let patch v =
+    let bytes, _, _ =
+      Encode.assemble ~base:fn [ I (Mov (W64, OReg Reg.RAX, OImm v)); I Ret ]
+    in
+    Mem.write_bytes cpu.Cpu.mem fn bytes;
+    String.length bytes
+  in
+  let len = patch 2L in
+  let r_stale, _ = Image.call img ~fn in
+  check ci64 "stale block still cached" 1L r_stale;
+  (* a range flush covering the overwrite drops the block *)
+  Cpu.flush_code ~range:(fn, fn + len) cpu;
+  let r2, _ = Image.call img ~fn in
+  check ci64 "range flush picks up new code" 2L r2;
+  (* an unrelated range must NOT drop it: stale again after re-patch *)
+  ignore (patch 3L);
+  Cpu.flush_code ~range:(fn + 4096, fn + 8192) cpu;
+  let r_stale2, _ = Image.call img ~fn in
+  check ci64 "unrelated range keeps block" 2L r_stale2;
+  (* a full flush always works *)
+  Cpu.flush_code cpu;
+  let r3, _ = Image.call img ~fn in
+  check ci64 "full flush picks up new code" 3L r3;
+  check cbool "flushes counted" true
+    ((Cpu.cache_stats cpu).Cpu.block_flushes >= 3)
+
+(* ---------- differential: superblock engine vs single-step ---------- *)
+
+(* Everything observable about a finished run: registers, flags, SSE
+   state, the data array, and the cycle/instruction accounting (the
+   cost model is part of the semantics). *)
+type observation = {
+  o_regs : int64 array;
+  o_xlo : int64 array;
+  o_xhi : int64 array;
+  o_flags : bool * bool * bool * bool * bool * bool;
+  o_cycles : int;
+  o_icount : int;
+  o_mem : string;
+}
+
+let observe engine (body : item list) : observation =
+  let img = fresh () in
+  let cpu = img.Image.cpu in
+  let arr =
+    Image.alloc_f64_array img (Array.init 8 (fun i -> float_of_int i +. 0.5))
+  in
+  (* loop skeleton: rdi counts down, rsi pins the data array; the body
+     must not touch either register *)
+  let items =
+    (L 0 :: body)
+    @ [ I (Alu (Sub, W64, OReg Reg.RDI, OImm 1L));
+        I (Jcc (NE, Lbl 0));
+        I Ret ]
+  in
+  let fn = Image.install_code img items in
+  ignore (Image.call ~engine img ~fn ~args:[ 3L; Int64.of_int arr ]);
+  { o_regs = Array.copy cpu.Cpu.regs;
+    o_xlo = Array.copy cpu.Cpu.xlo;
+    o_xhi = Array.copy cpu.Cpu.xhi;
+    o_flags =
+      (cpu.Cpu.zf, cpu.Cpu.sf, cpu.Cpu.cf, cpu.Cpu.o_f, cpu.Cpu.pf,
+       cpu.Cpu.af);
+    o_cycles = cpu.Cpu.cycles;
+    o_icount = cpu.Cpu.icount;
+    o_mem = Mem.read_bytes cpu.Cpu.mem arr 64 }
+
+(* straight-line body instructions that are safe inside the skeleton:
+   no traps, no control flow, rdi/rsi/rsp/rbp untouched *)
+let gen_body_insn : insn QCheck.Gen.t =
+  let open QCheck.Gen in
+  let open Reg in
+  let gpr = oneofl [ RAX; RCX; RDX; R8; R9; R10; R11 ] in
+  let w = oneofl [ W64; W32 ] in
+  let alu = oneofl [ Add; Sub; And; Or; Xor; Cmp ] in
+  let disp = map (fun k -> 8 * k) (int_bound 7) in
+  let xr = int_bound 3 in
+  let cc = oneofl [ E; NE; B; AE; L; GE; LE; G; S; NS ] in
+  frequency
+    [ (4, map3 (fun o w' (a, b) -> Alu (o, w', OReg a, OReg b))
+         alu w (pair gpr gpr));
+      (2, map3 (fun o r i -> Alu (o, W64, OReg r, OImm (Int64.of_int i)))
+         alu gpr (int_bound 1000));
+      (2, map2 (fun w' (a, b) -> Mov (w', OReg a, OReg b)) w (pair gpr gpr));
+      (2, map2 (fun r i -> Mov (W64, OReg r, OImm (Int64.of_int i)))
+         gpr (int_bound 10000));
+      (2, map2 (fun r d -> Mov (W64, OReg r, OMem (mem_base ~disp:d RSI)))
+         gpr disp);
+      (2, map2 (fun r d -> Mov (W64, OMem (mem_base ~disp:d RSI), OReg r))
+         gpr disp);
+      (1, map2 (fun r d -> Lea (r, mem_base ~disp:d RSI)) gpr disp);
+      (1, map3 (fun u w' r -> Unop (u, w', OReg r))
+         (oneofl [ Neg; Not; Inc; Dec ]) w gpr);
+      (1, map2 (fun w' (a, b) -> Test (w', OReg a, OReg b)) w (pair gpr gpr));
+      (1, map2 (fun a b -> Imul2 (W64, a, OReg b)) gpr gpr);
+      (1, map3 (fun s r k -> Shift (s, W64, OReg r, ShImm k))
+         (oneofl [ Shl; Shr; Sar ]) gpr (int_range 0 31));
+      (1, map2 (fun c r -> Setcc (c, OReg r)) cc gpr);
+      (1, map3 (fun c a b -> Cmov (c, W64, a, OReg b)) cc gpr gpr);
+      (1, map3 (fun o a b -> SseArith (o, Sd, a, Xr b))
+         (oneofl [ FAdd; FSub; FMul ]) xr xr);
+      (1, map2 (fun a d -> SseArith (FAdd, Sd, a, Xm (mem_base ~disp:d RSI)))
+         xr disp);
+      (1, map2 (fun a d -> SseMov (Movsd, Xr a, Xm (mem_base ~disp:d RSI)))
+         xr disp);
+      (1, map2 (fun a d -> SseMov (Movsd, Xm (mem_base ~disp:d RSI), Xr a))
+         xr disp);
+      (1, map2 (fun a b -> SseLogic (Pxor, a, Xr b)) xr xr) ]
+
+let prop_engine_differential =
+  QCheck.Test.make ~count:200 ~name:"superblock engine == single-step"
+    (QCheck.make
+       ~print:(fun body ->
+         String.concat "; "
+           (List.map
+              (function I i -> Pp.insn i | L n -> Printf.sprintf "L%d:" n)
+              body))
+       QCheck.Gen.(
+         map
+           (fun l -> List.map (fun i -> I i) l)
+           (list_size (int_bound 20) gen_body_insn)))
+    (fun body ->
+      let a = observe Cpu.Superblocks body in
+      let b = observe Cpu.SingleStep body in
+      if a <> b then
+        QCheck.Test.fail_reportf
+          "engines diverge: cycles %d vs %d, icount %d vs %d, regs %s"
+          a.o_cycles b.o_cycles a.o_icount b.o_icount
+          (if a.o_regs = b.o_regs then "equal" else "DIFFER")
+      else true)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "x86"
@@ -462,5 +605,9 @@ let () =
          Alcotest.test_case "signed div" `Quick test_emu_signed_div;
          Alcotest.test_case "sse upper" `Quick test_emu_sse_upper_semantics;
          Alcotest.test_case "cycles" `Quick test_cycle_accounting;
-         Alcotest.test_case "stack alignment" `Quick test_stack_alignment ])
+         Alcotest.test_case "stack alignment" `Quick test_stack_alignment ]);
+      ("engine",
+       [ Alcotest.test_case "cache invalidation" `Quick
+           test_code_cache_invalidation;
+         qt prop_engine_differential ])
     ]
