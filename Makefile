@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick ci clean
+.PHONY: all build test bench bench-quick fuzz-smoke examples ci clean
 
 all: build
 
@@ -15,6 +15,17 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick
+
+# Fixed-seed fault-injection smoke: ~500 random injection plans against
+# the fail-safe pipeline (see test/test_fault.ml).
+fuzz-smoke:
+	QCHECK_SEED=42 dune exec test/test_fault.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/stencil_demo.exe
+	dune exec examples/lifter_explorer.exe
+	dune exec examples/specialize_hotloop.exe
 
 ci:
 	dune build @check

@@ -160,11 +160,13 @@ let fig8 env =
   (try
      let a, _ = Modes.transform env Modes.Flat Modes.Element Modes.DBrew in
      dump "specialized by DBrew" a
-   with Modes.Transform_failed m -> Printf.printf "DBrew failed: %s\n" m);
+   with Obrew_fault.Err.Error e ->
+     Printf.printf "DBrew failed: %s\n" (Obrew_fault.Err.to_string e));
   (try
      let a, _ = Modes.transform env Modes.Flat Modes.Element Modes.DBrewLlvm in
      dump "DBrew + LLVM post-processing" a
-   with Modes.Transform_failed m -> Printf.printf "DBrew+LLVM failed: %s\n" m)
+   with Obrew_fault.Err.Error e ->
+     Printf.printf "DBrew+LLVM failed: %s\n" (Obrew_fault.Err.to_string e))
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 9: run times                                                   *)
@@ -212,7 +214,7 @@ let fig9 env (style : Modes.style) =
                   jfloat "wall_s" wall ]
               :: !rows;
             Printf.printf "%12.2f" (float_of_int cycles /. 1e6)
-          with Modes.Transform_failed _ -> Printf.printf "%12s" "n/a")
+          with Obrew_fault.Err.Error _ -> Printf.printf "%12s" "n/a")
         transforms;
       print_newline ())
     kinds;
@@ -257,7 +259,7 @@ let fig10 env =
          repeated runs must not be served from the memo cache *)
       (Staged.stage (fun () ->
            try ignore (Modes.transform ~use_memo:false env kind Modes.Line t)
-           with Modes.Transform_failed _ -> ()))
+           with Obrew_fault.Err.Error _ -> ()))
   in
   let tests =
     Test.make_grouped ~name:"fig10" ~fmt:"%s %s"
@@ -331,8 +333,8 @@ let ablation_lifter env =
           ~iters:!iters in
       Printf.printf "%-26s %10.2f Mcycles   compile %6.2f ms\n" label
         (float_of_int cycles /. 1e6) (dt *. 1e3)
-    with Modes.Transform_failed m ->
-      Printf.printf "%-26s failed: %s\n" label m
+    with Obrew_fault.Err.Error e ->
+      Printf.printf "%-26s failed: %s\n" label (Obrew_fault.Err.to_string e)
   in
   let d = Lift.default_config in
   run d "all features";
@@ -360,11 +362,9 @@ let ablation_passes env =
             ~iters:!iters in
         Printf.printf "%-26s %10.2f Mcycles\n" label
           (float_of_int cycles /. 1e6)
-      with
-      | Modes.Transform_failed m ->
-        Printf.printf "%-26s failed: %s\n" label m
-      | Obrew_backend.Isel.Backend_error m ->
-        Printf.printf "%-26s backend: %s\n" label m)
+      with Obrew_fault.Err.Error e ->
+        Printf.printf "%-26s failed: %s\n" label
+          (Obrew_fault.Err.to_string e))
     variants;
   (* per-pass activity of the full pipeline (bypass the memo so the
      pipeline actually runs and updates the pass counters) *)

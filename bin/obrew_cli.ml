@@ -46,7 +46,32 @@ let dump_arg =
 
 let stats_arg =
   Arg.(value & flag & info [ "stats" ]
-         ~doc:"Print execution-engine and memo-cache counters.")
+         ~doc:"Print execution-engine, memo-cache and robustness counters.")
+
+let fallback_arg =
+  Arg.(value & flag & info [ "fallback" ]
+         ~doc:"On failure degrade gracefully (DBrew+LLVM, DBrew, LLVM, \
+               Native) instead of exiting.")
+
+let max_insns_arg =
+  Arg.(value & opt (some int) None & info [ "max-insns" ] ~docv:"N"
+         ~doc:"Emulator watchdog: abort the run after N executed \
+               instructions.")
+
+let fault_arg =
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"PLAN"
+         ~doc:"Install a fault-injection plan, e.g. 'opt.gvn' or \
+               'rewrite.trace:0:1,backend.isel'. Syntax: \
+               point[:skip[:fires]] separated by commas.")
+
+let install_fault_plan = function
+  | None -> ()
+  | Some p -> (
+    match Obrew_fault.Fault.parse p with
+    | Ok plan -> Obrew_fault.Fault.install plan
+    | Error m ->
+      Printf.eprintf "bad --fault plan: %s\n" m;
+      exit 2)
 
 let print_stats (env : Modes.env) =
   let open Obrew_x86 in
@@ -63,35 +88,54 @@ let print_stats (env : Modes.env) =
   let dh, dm = Obrew_dbrew.Api.memo_stats () in
   Printf.printf
     "memo caches: transform %d hits / %d misses, dbrew %d hits / %d misses\n"
-    mh mm dh dm
+    mh mm dh dm;
+  print_string (Robust.to_string ());
+  let fired = Obrew_fault.Fault.fired () in
+  if fired > 0 then Printf.printf "fault injection: %d fault(s) fired\n" fired
 
 let stencil_cmd =
-  let run sz iters kind style tr dump stats =
+  let run sz iters kind style tr dump stats fallback max_insns fault =
+    install_fault_plan fault;
     let env = Modes.build ~sz () in
     (try
-       let kernel, dt = Modes.transform env kind style tr in
-       let cycles, insns = Modes.run env kind style ~kernel ~iters in
+       let kernel, used, dt =
+         if fallback then begin
+           let r = Modes.transform_safe env kind style tr in
+           List.iter
+             (fun (m, e) ->
+               Printf.eprintf "%s failed: %s\n" (Modes.transform_name m)
+                 (Err.to_string e))
+             r.Modes.failures;
+           (r.Modes.kernel, r.Modes.used, r.Modes.seconds)
+         end
+         else
+           let kernel, dt = Modes.transform env kind style tr in
+           (kernel, tr, dt)
+       in
+       let cycles, insns = Modes.run ?max_insns env kind style ~kernel ~iters in
        Printf.printf
          "%s %s %s: %d cycles, %d instructions, transform %.3f ms\n"
          (Modes.kind_name kind) (Modes.style_name style)
-         (Modes.transform_name tr) cycles insns (dt *. 1e3);
+         (Modes.transform_name used) cycles insns (dt *. 1e3);
        if stats then print_stats env;
        if dump then
          print_endline
            (Obrew_x86.Pp.listing
               (Obrew_x86.Image.disassemble_fn env.Modes.img kernel))
-     with Modes.Transform_failed m ->
-       Printf.eprintf "transformation failed: %s\n" m;
+     with Err.Error e ->
+       Printf.eprintf "transformation failed: %s\n" (Err.to_string e);
        exit 1);
     ()
   in
   Cmd.v
     (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
     Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
-          $ transform_arg $ dump_arg $ stats_arg)
+          $ transform_arg $ dump_arg $ stats_arg $ fallback_arg
+          $ max_insns_arg $ fault_arg)
 
 let modes_cmd =
-  let run sz iters style stats =
+  let run sz iters style stats fault =
+    install_fault_plan fault;
     let env = Modes.build ~sz () in
     Printf.printf "%-14s" "";
     let transforms =
@@ -110,7 +154,7 @@ let modes_cmd =
               let k, _ = Modes.transform env kind style t in
               let cycles, _ = Modes.run env kind style ~kernel:k ~iters in
               Printf.printf "%12.2f" (float_of_int cycles /. 1e6)
-            with Modes.Transform_failed _ -> Printf.printf "%12s" "n/a")
+            with Err.Error _ -> Printf.printf "%12s" "n/a")
           transforms;
         print_newline ())
       [ (Modes.Direct, "Direct"); (Modes.Flat, "Struct");
@@ -120,7 +164,8 @@ let modes_cmd =
   Cmd.v
     (Cmd.info "modes"
        ~doc:"All five modes side by side (Fig. 9, in Mcycles).")
-    Term.(const run $ sz_arg $ iters_arg $ style_arg $ stats_arg)
+    Term.(const run $ sz_arg $ iters_arg $ style_arg $ stats_arg
+          $ fault_arg)
 
 let fig6_cmd =
   let run () =

@@ -38,8 +38,9 @@ let () =
         Printf.printf "%-12s %14d %14d %8.2fms %9s\n"
           (Modes.transform_name tr) cycles insns (dt *. 1e3)
           (if ok then "yes" else "NO!")
-      with Modes.Transform_failed m ->
-        Printf.printf "%-12s failed: %s\n" (Modes.transform_name tr) m)
+      with Obrew_fault.Err.Error e ->
+        Printf.printf "%-12s failed: %s\n" (Modes.transform_name tr)
+          (Obrew_fault.Err.to_string e))
     [ Modes.Native; Modes.Llvm; Modes.LlvmFix; Modes.DBrew; Modes.DBrewLlvm ];
 
   (* show what specialization did to the code *)

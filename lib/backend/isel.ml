@@ -13,9 +13,8 @@ open Obrew_ir
 open Ins
 open Regalloc
 
-exception Backend_error of string
-
-let err fmt = Printf.ksprintf (fun s -> raise (Backend_error s)) fmt
+(* instruction-selection failures are typed [Err.Isel] errors *)
+let err fmt = Obrew_fault.Err.fail Obrew_fault.Err.Isel fmt
 
 (* ------------------------------------------------------------------ *)
 (* Critical edge splitting (pre-pass, mutates the IR function)         *)
@@ -486,7 +485,7 @@ let parallel_moves ctx (moves : pmove list) =
         (fun m ->
           match m.src with
           | `Loc s -> emit_transfer ctx m.mty s m.dst
-          | `Const _ -> assert false)
+          | `Const _ -> err "parallel move: constant in the ready set")
         ready;
       pending := rest
     end
@@ -511,12 +510,13 @@ let parallel_moves ctx (moves : pmove list) =
                  | _ -> m2)
                !pending;
            progress := true
-         | `Const _ -> assert false)
+         | `Const _ -> err "parallel move: constant in a transfer cycle")
     end
   done;
   if !pending <> [] then err "parallel move did not converge";
   List.iter (fun m -> emit_const_into ctx m.mty (match m.src with
-      | `Const v -> v | `Loc _ -> assert false) m.dst)
+      | `Const v -> v
+      | `Loc _ -> err "parallel move: location in the constant set") m.dst)
     consts
 
 (* ------------------------------------------------------------------ *)
@@ -1334,6 +1334,7 @@ let collect_addr_only (f : func) : (int, unit) Hashtbl.t =
 let emit_func ?(global_addr = fun g -> err "unresolved global @%s" g)
     ?(func_addr = fun n -> err "unresolved function @%s" n) (f : func) :
     Insn.item list =
+  Obrew_fault.Fault.point "backend.isel";
   split_critical_edges f;
   Cfg.prune_unreachable f;
   let al = allocate f in

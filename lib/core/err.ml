@@ -1,0 +1,9 @@
+(** Re-export of the typed pipeline error taxonomy.
+
+    The taxonomy itself lives at the bottom of the dependency graph
+    ({!Obrew_fault.Err}) so that every layer — decoder, lifter,
+    optimizer, backend, rewriter, emulator — can raise it.  This alias
+    makes it reachable under the conventional [Obrew_core.Err] name for
+    API users who only link the top layer. *)
+
+include Obrew_fault.Err

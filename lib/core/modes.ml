@@ -18,6 +18,7 @@ open Obrew_lifter
 open Obrew_backend
 open Obrew_dbrew
 open Obrew_stencil
+open Obrew_fault
 
 type kind = Direct | Flat | Sorted
 type style = Element | Line
@@ -40,6 +41,8 @@ type env = {
   (* transform memo: request fingerprint -> installed kernel address *)
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable last_dropped : (string * Err.t) list;
+  (* passes dropped by the last checked transform *)
 }
 
 let kernel_name kind style =
@@ -70,7 +73,7 @@ let build ?(sz = 65) ?groups () : env =
     m.funcs;
   ignore (Jit.install_module img m);
   { img; w; modul = m; memo = Hashtbl.create 32;
-    memo_hits = 0; memo_misses = 0 }
+    memo_hits = 0; memo_misses = 0; last_dropped = [] }
 
 let stencil_arg env = function
   | Direct | Flat -> env.w.s_flat
@@ -82,13 +85,11 @@ let stencil_range env = function
 
 let native_addr env kind style = Image.lookup env.img (kernel_name kind style)
 
-exception Transform_failed of string
-
-(* lift the binary code at [entry] into a one-function module *)
+(* lift the binary code at [entry] into a one-function module; failures
+   propagate as typed [Err.Error]s (stage Lift or Decode) *)
 let lift_entry env ~name ~config entry sg =
   let read = Mem.read_u8 env.img.Image.cpu.Cpu.mem in
-  try Lift.lift ~config ~read ~entry ~name sg
-  with Lift.Lift_error m -> raise (Transform_failed m)
+  Lift.lift ~config ~read ~entry ~name sg
 
 let o3_opts = { Pipeline.o3 with fast_math = true }
 
@@ -99,7 +100,7 @@ let o3_opts = { Pipeline.o3 with fast_math = true }
    intentionally not part of the key — callers that swap those must
    bypass the memo. *)
 let transform_key env ~(lift_config : Lift.config)
-    ~(opt : Pipeline.options) kind style t =
+    ~(opt : Pipeline.options) ~checked ~guards kind style t =
   let lo, hi = stencil_range env kind in
   let fixed = Mem.read_bytes env.img.Image.cpu.Cpu.mem lo (hi - lo) in
   Digest.string
@@ -107,7 +108,9 @@ let transform_key env ~(lift_config : Lift.config)
        ( kind, style, t, lift_config,
          ( opt.Pipeline.level, opt.Pipeline.fast_math,
            opt.Pipeline.force_vector_width, opt.Pipeline.vector_aligned,
-           opt.Pipeline.inline_threshold, opt.Pipeline.verify_each ),
+           opt.Pipeline.inline_threshold, opt.Pipeline.verify_each,
+           opt.Pipeline.fuel ),
+         checked, (guards : Guards.t option),
          native_addr env kind style, Digest.string fixed )
        [])
 
@@ -123,13 +126,51 @@ let memo_stats env = (env.memo_hits, env.memo_misses)
     serving path).  [use_memo:false] forces the full pipeline, which
     Fig. 10 needs to measure real compile times. *)
 let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
-    ?(opt = o3_opts) (env : env) (kind : kind) (style : style)
-    (t : transform) : int * float =
+    ?(opt = o3_opts) ?(checked = false) ?guards (env : env) (kind : kind)
+    (style : style) (t : transform) : int * float =
   let sg = kernel_sig style in
   let orig = native_addr env kind style in
   let t0 = Unix.gettimeofday () in
+  (* apply the resource-guard bundle to every stage it covers *)
+  let lift_config =
+    match guards with
+    | None -> lift_config
+    | Some g ->
+      { lift_config with
+        Lift.max_insns = g.Guards.lift_max_insns;
+        max_blocks = g.Guards.lift_max_blocks }
+  in
+  let opt =
+    match guards with
+    | None -> opt
+    | Some g -> { opt with Pipeline.fuel = g.Guards.opt_fuel }
+  in
+  let configure_rewriter (r : Api.t) =
+    match guards with
+    | None -> ()
+    | Some g ->
+      r.Api.cfg.Rewriter.max_emit <- g.Guards.rewrite_max_emit;
+      r.Api.cfg.Rewriter.max_variants <- g.Guards.rewrite_max_variants;
+      r.Api.cfg.Rewriter.max_seconds <- g.Guards.rewrite_max_seconds
+  in
+  (* run the optimizer, verifier-gated when [checked]: each pass is
+     verified, an IR-breaking pass is rolled back and dropped, and the
+     drops are recorded (graceful degradation instead of failure) *)
+  let optimize m =
+    if not checked then Pipeline.run ~opts:opt m
+    else begin
+      let dropped = Pipeline.run_checked ~opts:opt m in
+      env.last_dropped <- dropped;
+      Robust.record_dropped (List.length dropped)
+    end
+  in
+  env.last_dropped <- [];
+  (* under fault injection the memo must neither serve stale successes
+     nor remember degraded results *)
+  let use_memo = use_memo && not (Fault.active ()) in
   let key =
-    if use_memo then Some (transform_key env ~lift_config ~opt kind style t)
+    if use_memo then
+      Some (transform_key env ~lift_config ~opt ~checked ~guards kind style t)
     else None
   in
   match Option.bind key (Hashtbl.find_opt env.memo) with
@@ -144,7 +185,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
     | Llvm ->
       let f = lift_entry env ~name:"jit" ~config:lift_config orig sg in
       let m = { Ins.funcs = [ f ]; globals = [] } in
-      Pipeline.run ~opts:opt m;
+      optimize m;
       Verify.assert_ok ~ctx:"llvm identity" f;
       Jit.install_func env.img f
     | LlvmFix ->
@@ -167,7 +208,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       Builder.ret b None;
       let wrapper = Builder.func b in
       let m = { Ins.funcs = [ f; wrapper ]; globals = [ g ] } in
-      Pipeline.run ~opts:opt m;
+      optimize m;
       Verify.assert_ok ~ctx:"llvm fixation" wrapper;
       ignore (Jit.install_global env.img g);
       (* the callee is normally fully inlined, but lower optimization
@@ -176,30 +217,97 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       Jit.install_func env.img wrapper
     | DBrew -> (
       let r = Api.dbrew_new env.img orig in
+      configure_rewriter r;
       Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
       let lo, hi = stencil_range env kind in
       Api.dbrew_set_mem r lo hi;
       let a = Api.dbrew_rewrite ~memo:use_memo r in
       match r.Api.last_error with
-      | Some m -> raise (Transform_failed ("dbrew: " ^ m))
+      | Some e -> raise (Err.Error e)
       | None -> a)
     | DBrewLlvm -> (
       let r = Api.dbrew_new env.img orig in
+      configure_rewriter r;
       Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
       let lo, hi = stencil_range env kind in
       Api.dbrew_set_mem r lo hi;
       let a = Api.dbrew_rewrite ~memo:use_memo r in
       match r.Api.last_error with
-      | Some m -> raise (Transform_failed ("dbrew: " ^ m))
+      | Some e -> raise (Err.Error e)
       | None ->
         let f = lift_entry env ~name:"jit" ~config:lift_config a sg in
         let m = { Ins.funcs = [ f ]; globals = [] } in
-        Pipeline.run ~opts:opt m;
+        optimize m;
         Verify.assert_ok ~ctx:"dbrew+llvm" f;
         Jit.install_func env.img f)
   in
   (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());
   (addr, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation                                                *)
+(* ------------------------------------------------------------------ *)
+
+type safe_result = {
+  kernel : int;            (* always a runnable drop-in replacement *)
+  used : transform;        (* the mode that finally succeeded *)
+  seconds : float;         (* total time including failed attempts *)
+  failures : (transform * Err.t) list; (* failed attempts, in order *)
+  dropped : (string * Err.t) list;     (* passes dropped (checked mode) *)
+}
+
+(* The degradation order of the paper's modes: each step gives up one
+   layer of sophistication but keeps correctness.  LlvmFix is not in
+   the main chain (it changes the calling convention's data source), so
+   a failed LlvmFix request degrades straight to plain Llvm. *)
+let fallback_chain = [ DBrewLlvm; DBrew; Llvm; Native ]
+
+let chain_from = function
+  | LlvmFix -> [ LlvmFix; Llvm; Native ]
+  | t ->
+    let rec suffix = function
+      | [] -> [ Native ]
+      | x :: _ as l when x = t -> l
+      | _ :: tl -> suffix tl
+    in
+    suffix fallback_chain
+
+(** Fail-safe {!transform}: walk the fallback chain from the requested
+    mode down to Native, recording every typed failure, and return the
+    first mode that produced a runnable kernel.  Never raises — Native
+    is the original binary and cannot fail. *)
+let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
+    (kind : kind) (style : style) (t : transform) : safe_result =
+  let t0 = Unix.gettimeofday () in
+  Robust.stats.Robust.safe_runs <- Robust.stats.Robust.safe_runs + 1;
+  let rec go failures = function
+    | [] ->
+      (* unreachable in practice (Native cannot fail), but stay total *)
+      Robust.record_landing ~degraded:(t <> Native)
+        (transform_name Native);
+      { kernel = native_addr env kind style; used = Native;
+        seconds = Unix.gettimeofday () -. t0;
+        failures = List.rev failures; dropped = [] }
+    | m :: rest -> (
+      Robust.record_attempt ();
+      match transform ?use_memo ?lift_config ?opt ?checked ?guards
+              env kind style m with
+      | addr, _ ->
+        Robust.record_landing ~degraded:(m <> t) (transform_name m);
+        { kernel = addr; used = m;
+          seconds = Unix.gettimeofday () -. t0;
+          failures = List.rev failures; dropped = env.last_dropped }
+      | exception Err.Error e ->
+        Robust.record_failure e;
+        go ((m, e) :: failures) rest
+      | exception exn ->
+        (* anything untyped that escapes is still a recorded failure,
+           not a crash; attribute it to the stage that wraps codegen *)
+        let e = Err.of_exn ~stage:Err.Encode exn in
+        Robust.record_failure e;
+        go ((m, e) :: failures) rest)
+  in
+  go [] (chain_from t)
 
 (** Restore the matrices to the initial Jacobi state. *)
 let reset env =
@@ -221,7 +329,7 @@ let reset env =
 
 (** Run the Jacobi driver with the given kernel; returns (cycles,
     instructions) consumed by the emulated computation. *)
-let run_jacobi env (style : style) ~kernel ~iters : int * int =
+let run_jacobi ?max_insns env (style : style) ~kernel ~iters : int * int =
   reset env;
   Image.reset_stack env.img;
   let driver =
@@ -236,7 +344,7 @@ let run_jacobi env (style : style) ~kernel ~iters : int * int =
   let (), cycles, insns =
     Image.measure env.img (fun () ->
         ignore
-          (Image.call env.img ~fn:driver
+          (Image.call ?max_insns env.img ~fn:driver
              ~args:
                [ stencil; Int64.of_int env.w.m1; Int64.of_int env.w.m2;
                  Int64.of_int iters; Int64.of_int kernel ]))
@@ -245,7 +353,8 @@ let run_jacobi env (style : style) ~kernel ~iters : int * int =
 
 (** As {!run_jacobi} but with the correct stencil pointer per kind
     (generic unspecialized kernels dereference it). *)
-let run env (kind : kind) (style : style) ~kernel ~iters : int * int =
+let run ?max_insns env (kind : kind) (style : style) ~kernel ~iters :
+    int * int =
   reset env;
   Image.reset_stack env.img;
   let driver =
@@ -257,7 +366,7 @@ let run env (kind : kind) (style : style) ~kernel ~iters : int * int =
   let (), cycles, insns =
     Image.measure env.img (fun () ->
         ignore
-          (Image.call env.img ~fn:driver
+          (Image.call ?max_insns env.img ~fn:driver
              ~args:
                [ Int64.of_int (stencil_arg env kind);
                  Int64.of_int env.w.m1; Int64.of_int env.w.m2;

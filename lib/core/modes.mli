@@ -32,6 +32,8 @@ type env = {
   (** transform memo: request fingerprint -> installed kernel *)
   mutable memo_hits : int;
   mutable memo_misses : int;
+  mutable last_dropped : (string * Obrew_fault.Err.t) list;
+  (** optimizer passes dropped by the last [checked] transform *)
 }
 
 (** Compile the benchmark program with the "static compiler" (minic at
@@ -53,8 +55,6 @@ val native_addr : env -> kind -> style -> int
 val stencil_arg : env -> kind -> int
 val stencil_range : env -> kind -> int * int
 
-exception Transform_failed of string
-
 (** Default optimization options for the JIT modes (-O3, fast-math,
     no forced vectorization — Sec. VI). *)
 val o3_opts : Obrew_opt.Pipeline.options
@@ -64,16 +64,57 @@ val o3_opts : Obrew_opt.Pipeline.options
     seconds (the Fig. 10 quantity).  [lift_config]/[opt] expose the
     ablation knobs.
 
+    [guards] applies a {!Obrew_fault.Guards.t} resource bundle to every
+    stage: lifter discovery budgets, optimizer fuel and the rewriter's
+    emission/variant/wall-clock limits.  [checked] runs the optimizer
+    verifier-gated ({!Obrew_opt.Pipeline.run_checked}): an IR-breaking
+    pass is rolled back and dropped instead of failing the transform,
+    and the drops land in [env.last_dropped].
+
     Repeated requests with identical mode, configuration and
     fixed-memory contents are served from a per-environment memo cache
     (see {!memo_stats}); pass [use_memo:false] to force the full
     rewrite/lift/optimize pipeline, e.g. when measuring compile time.
-    @raise Transform_failed when the mode cannot handle the kernel. *)
+    The memo is bypassed entirely while a fault-injection plan is
+    installed.
+    @raise Obrew_fault.Err.Error when the mode cannot handle the
+    kernel; the error carries the failing pipeline stage. *)
 val transform :
   ?use_memo:bool ->
   ?lift_config:Obrew_lifter.Lift.config ->
   ?opt:Obrew_opt.Pipeline.options ->
+  ?checked:bool ->
+  ?guards:Obrew_fault.Guards.t ->
   env -> kind -> style -> transform -> int * float
+
+type safe_result = {
+  kernel : int;            (** always a runnable drop-in replacement *)
+  used : transform;        (** the mode that finally succeeded *)
+  seconds : float;         (** total time including failed attempts *)
+  failures : (transform * Obrew_fault.Err.t) list;
+  (** failed attempts along the chain, in order *)
+  dropped : (string * Obrew_fault.Err.t) list;
+  (** optimizer passes dropped by the winning attempt (checked mode) *)
+}
+
+(** The graceful-degradation order: [DBrewLlvm → DBrew → Llvm →
+    Native].  {!transform_safe} walks the suffix starting at the
+    requested mode ([LlvmFix] degrades to [Llvm] directly). *)
+val fallback_chain : transform list
+
+val chain_from : transform -> transform list
+
+(** Fail-safe {!transform}: tries the requested mode, then each weaker
+    mode in {!fallback_chain}, recording every typed failure in the
+    result and in {!Robust.stats}.  Never raises; the result's [kernel]
+    is always runnable (Native — the original binary — is the floor). *)
+val transform_safe :
+  ?use_memo:bool ->
+  ?lift_config:Obrew_lifter.Lift.config ->
+  ?opt:Obrew_opt.Pipeline.options ->
+  ?checked:bool ->
+  ?guards:Obrew_fault.Guards.t ->
+  env -> kind -> style -> transform -> safe_result
 
 (** (hits, misses) of the environment's transform memo cache. *)
 val memo_stats : env -> int * int
@@ -83,11 +124,16 @@ val reset : env -> unit
 
 (** Run the Jacobi driver with kernel address [kernel]; returns
     (simulated cycles, executed instructions).  The driver-loop
-    overhead is included in the measurement, as in Sec. VI. *)
-val run : env -> kind -> style -> kernel:int -> iters:int -> int * int
+    overhead is included in the measurement, as in Sec. VI.
+    [max_insns] bounds the emulated instruction count (watchdog);
+    exceeding it raises a typed [Emulate] error. *)
+val run :
+  ?max_insns:int ->
+  env -> kind -> style -> kernel:int -> iters:int -> int * int
 
 (** As {!run} but always passing the flat stencil pointer. *)
-val run_jacobi : env -> style -> kernel:int -> iters:int -> int * int
+val run_jacobi :
+  ?max_insns:int -> env -> style -> kernel:int -> iters:int -> int * int
 
 (** The matrix holding the result after [iters] iterations. *)
 val result_matrix : env -> iters:int -> float array

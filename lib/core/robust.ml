@@ -1,0 +1,69 @@
+(** Counters for the fail-safe pipeline: how often {!Modes.transform_safe}
+    ran, how often it degraded, which stages failed and where requests
+    finally landed.  Global (per-process) on purpose — the CLI's
+    [--stats] flag reports them after a run regardless of how many
+    environments were built. *)
+
+open Obrew_fault
+
+type t = {
+  mutable safe_runs : int;       (* transform_safe invocations *)
+  mutable degraded : int;        (* runs that landed below the request *)
+  mutable attempts : int;        (* individual mode attempts *)
+  mutable failures : int;        (* attempts that failed with a typed error *)
+  mutable dropped_passes : int;  (* optimizer passes dropped by run_checked *)
+  by_stage : (Err.stage, int) Hashtbl.t; (* failures per pipeline stage *)
+  by_mode : (string, int) Hashtbl.t;     (* landings per final mode *)
+}
+
+let stats =
+  { safe_runs = 0; degraded = 0; attempts = 0; failures = 0;
+    dropped_passes = 0; by_stage = Hashtbl.create 8;
+    by_mode = Hashtbl.create 8 }
+
+let reset () =
+  stats.safe_runs <- 0;
+  stats.degraded <- 0;
+  stats.attempts <- 0;
+  stats.failures <- 0;
+  stats.dropped_passes <- 0;
+  Hashtbl.reset stats.by_stage;
+  Hashtbl.reset stats.by_mode
+
+let bump tbl k =
+  Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let record_attempt () = stats.attempts <- stats.attempts + 1
+
+let record_failure (e : Err.t) =
+  stats.failures <- stats.failures + 1;
+  bump stats.by_stage e.Err.stage
+
+let record_landing ~degraded mode =
+  if degraded then stats.degraded <- stats.degraded + 1;
+  bump stats.by_mode mode
+
+let record_dropped n = stats.dropped_passes <- stats.dropped_passes + n
+
+let to_string () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "robust: %d safe run(s), %d degraded, %d attempt(s), %d failure(s), \
+        %d dropped pass(es)\n"
+       stats.safe_runs stats.degraded stats.attempts stats.failures
+       stats.dropped_passes);
+  List.iter
+    (fun st ->
+      match Hashtbl.find_opt stats.by_stage st with
+      | Some n when n > 0 ->
+        Buffer.add_string b
+          (Printf.sprintf "  failures at %-8s %d\n" (Err.stage_name st) n)
+      | _ -> ())
+    Err.all_stages;
+  let modes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) stats.by_mode [] in
+  List.iter
+    (fun (m, n) ->
+      Buffer.add_string b (Printf.sprintf "  landed on %-10s %d\n" m n))
+    (List.sort compare modes);
+  Buffer.contents b

@@ -13,13 +13,14 @@
     (Sec. II).  A custom handler can be installed instead. *)
 
 open Obrew_x86
+open Obrew_fault
 
 type t = {
   img : Image.t;
   entry : int;
   cfg : Rewriter.config;
-  mutable error_handler : (string -> int) option;
-  mutable last_error : string option;
+  mutable error_handler : (Err.t -> int) option;
+  mutable last_error : Err.t option;
   mutable emitted_items : Insn.item list; (* for inspection/dumps *)
 }
 
@@ -40,7 +41,7 @@ let dbrew_set_mem r lo hi =
 (** Bound for call inlining depth. *)
 let dbrew_set_inline_depth r d = r.cfg.Rewriter.inline_depth <- d
 
-(** Custom error handler: receives the failure message, returns the
+(** Custom error handler: receives the typed failure, returns the
     function address to use instead. *)
 let dbrew_set_error_handler r h = r.error_handler <- Some h
 
@@ -97,7 +98,7 @@ let memo_key (r : t) =
          List.sort compare r.cfg.Rewriter.params,
          ranges, range_bytes,
          r.cfg.Rewriter.inline_depth, r.cfg.Rewriter.max_emit,
-         r.cfg.Rewriter.max_variants,
+         r.cfg.Rewriter.max_variants, r.cfg.Rewriter.max_seconds,
          code_digest mem r.entry )
        [])
 
@@ -109,6 +110,10 @@ let memo_key (r : t) =
     without re-running the rewriter ([memo:false] forces a fresh
     rewrite, e.g. to measure compile time). *)
 let dbrew_rewrite ?(memo = true) (r : t) : int =
+  (* While fault injection is live the memo must stay out of the way:
+     a hit would bypass the injection points, and a result produced
+     under injection must never be remembered as a success. *)
+  let memo = memo && not (Fault.active ()) in
   let key = if memo then Some (memo_key r) else None in
   match Option.bind key (Hashtbl.find_opt memo_tbl) with
   | Some (addr, items) ->
@@ -119,19 +124,23 @@ let dbrew_rewrite ?(memo = true) (r : t) : int =
   | None -> (
     if memo then incr memo_misses;
     match
-      Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem ~entry:r.entry
+      let items =
+        Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem
+          ~entry:r.entry
+      in
+      (items, Image.install_code ~dedup:true r.img items)
     with
-    | items ->
+    | items, addr ->
+      r.last_error <- None;
       r.emitted_items <- items;
-      let addr = Image.install_code ~dedup:true r.img items in
       (match key with
        | Some k -> Hashtbl.replace memo_tbl k (addr, items)
        | None -> ());
       addr
-    | exception Rewriter.Rewrite_failed msg -> (
-      r.last_error <- Some msg;
+    | exception Err.Error e -> (
+      r.last_error <- Some e;
       match r.error_handler with
-      | Some h -> h msg
+      | Some h -> h e
       | None -> r.entry (* default: fall back to the original *)))
 
 (** The rewritten code of the last successful {!dbrew_rewrite}, for

@@ -11,8 +11,9 @@
 
     Rewriting may fail on constructs the rewriter does not cover
     (indirect jumps, unsupported instructions, variant explosion); the
-    default error handler then returns the original function so the
-    program stays correct (Sec. II). *)
+    failure is recorded as a typed {!Obrew_fault.Err.t} and the default
+    error handler returns the original function so the program stays
+    correct (Sec. II). *)
 
 open Obrew_x86
 
@@ -20,8 +21,8 @@ type t = {
   img : Image.t;
   entry : int;
   cfg : Rewriter.config;
-  mutable error_handler : (string -> int) option;
-  mutable last_error : string option;
+  mutable error_handler : (Obrew_fault.Err.t -> int) option;
+  mutable last_error : Obrew_fault.Err.t option;
   mutable emitted_items : Insn.item list;
 }
 
@@ -41,9 +42,9 @@ val dbrew_set_mem : t -> int -> int -> unit
 (** Maximum call-inlining depth (default 4; 0 keeps calls). *)
 val dbrew_set_inline_depth : t -> int -> unit
 
-(** Install a custom error handler: it receives the failure message and
+(** Install a custom error handler: it receives the typed failure and
     returns the function address to use instead. *)
-val dbrew_set_error_handler : t -> (string -> int) -> unit
+val dbrew_set_error_handler : t -> (Obrew_fault.Err.t -> int) -> unit
 
 (** Rewrite and install; returns the new function's address (a drop-in
     replacement with the same signature).  On failure the error handler
@@ -53,7 +54,10 @@ val dbrew_set_error_handler : t -> (string -> int) -> unit
     original-code digest, fixed-memory contents): a repeated request
     returns the already-installed code without re-running the
     rewriter.  [memo:false] forces a fresh rewrite (e.g. to measure
-    transformation time). *)
+    transformation time).  The memo is bypassed entirely (neither read
+    nor written) while a fault-injection plan is installed, so injected
+    failures are always exercised and degraded results are never
+    cached. *)
 val dbrew_rewrite : ?memo:bool -> t -> int
 
 (** (hits, misses) of the specialization memo cache. *)

@@ -10,12 +10,16 @@
     inlining calls. *)
 
 open Obrew_x86
+open Obrew_fault
 open Insn
 open Meta
 
-exception Rewrite_failed of string
-
-let fail fmt = Printf.ksprintf (fun s -> raise (Rewrite_failed s)) fmt
+(* Rewriter failures are typed errors.  The generic rewriting
+   machinery (trace management, emission budgets, unsupported
+   constructs) reports stage [Encode] — it fails while producing new
+   binary code; decode and meta-emulation failures keep their own
+   stages ([Decode]/[Emulate]) with the faulting address attached. *)
+let fail fmt = Err.fail Err.Encode fmt
 
 type config = {
   mutable params : (int * int64) list;    (* fixed parameter values *)
@@ -23,16 +27,18 @@ type config = {
   mutable inline_depth : int;
   mutable max_emit : int;                 (* emitted instruction budget *)
   mutable max_variants : int;
+  mutable max_seconds : float;            (* wall-clock rewrite deadline *)
 }
 
 let default_config () =
   { params = []; mem_ranges = []; inline_depth = 4; max_emit = 20000;
-    max_variants = 256 }
+    max_variants = 256; max_seconds = 10.0 }
 
 type rw = {
   cfg : config;
   mem : Mem.t;                             (* the image's memory *)
   scratch : Cpu.t;                         (* for exact emulation *)
+  deadline : float;                        (* absolute Sys.time bound *)
   mutable out : item list;                 (* reversed *)
   mutable emitted : int;
   mutable next_label : int;
@@ -50,8 +56,13 @@ and work_item = {
 }
 
 let emit rw i =
+  Fault.point "rewrite.emit";
   rw.emitted <- rw.emitted + 1;
-  if rw.emitted > rw.cfg.max_emit then fail "emission budget exceeded";
+  if rw.emitted > rw.cfg.max_emit then
+    fail "emission budget of %d instructions exceeded" rw.cfg.max_emit;
+  (* wall-clock deadline, checked coarsely to keep emission cheap *)
+  if rw.emitted land 255 = 0 && Sys.time () > rw.deadline then
+    fail "rewrite deadline of %.1fs exceeded" rw.cfg.max_seconds;
   rw.out <- I i :: rw.out
 
 let emit_label rw l = rw.out <- L l :: rw.out
@@ -388,10 +399,11 @@ let emulate rw ts (i : insn) (io : io) ~(mem_imm : int64 option) : unit =
        let sh = 64 - width_bits sw in
        let s = Int64.shift_right (Int64.shift_left v sh) sh in
        Cpu.set_reg cpu dw d s
-     | _ -> assert false)
-   | _ -> (
-     try ignore (Cpu.exec cpu i')
-     with Cpu.Emu_error m -> fail "emulate: %s" m));
+     | _ -> fail "emulate: impossible extension shape")
+   | _ ->
+     (* emulator failures propagate as typed [Emulate] errors *)
+     Fault.point "emulate.scratch";
+     ignore (Cpu.exec cpu i'));
   (* read back *)
   List.iter (fun r -> set ts.st r (Known (Cpu.get_reg64 cpu r))) io.wr;
   if io.wf then begin
@@ -506,7 +518,9 @@ let emit_subst rw ts (i : insn) (io : io) =
           (match dst with
            | OReg _ -> src (* handled below as movabs *)
            | _ -> force_reg rw ts (match i with Mov (_, _, s) -> s
-                                              | _ -> assert false))
+                                              | _ ->
+                                                fail "emit_subst: mov \
+                                                      lost its source"))
         | _ -> src
       in
       (match dst, src with
@@ -564,10 +578,9 @@ let emit_subst rw ts (i : insn) (io : io) =
   emit rw i';
   post_emit ts io i
 
-(* decode helper *)
-let fetch rw pc =
-  try Decode.decode ~read:(Mem.read_u8 rw.mem) pc
-  with Decode.Decode_error m -> fail "decode at 0x%x: %s" pc m
+(* decode helper; failures propagate as typed [Decode] errors with the
+   faulting address *)
+let fetch rw pc = Decode.decode ~read:(Mem.read_u8 rw.mem) pc
 
 exception Trace_done
 
@@ -811,10 +824,13 @@ and run_trace_with rw ts (i : insn) next =
 
 (** Rewrite the function at [entry].  Returns the new code as assembly
     items (to be installed with {!Obrew_x86.Image.install_code}).
-    Raises {!Rewrite_failed} when an unsupported construct is hit. *)
+    Raises a typed {!Obrew_fault.Err.Error} when an unsupported
+    construct is hit or a resource guard trips. *)
 let rewrite ~(cfg : config) ~(mem : Mem.t) ~entry : item list =
+  Fault.point ~addr:entry "rewrite.trace";
   let rw =
-    { cfg; mem; scratch = Cpu.create (); out = []; emitted = 0;
+    { cfg; mem; scratch = Cpu.create ();
+      deadline = Sys.time () +. cfg.max_seconds; out = []; emitted = 0;
       next_label = 0;
       labels = Hashtbl.create 32; work = Queue.create () }
   in

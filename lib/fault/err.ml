@@ -1,0 +1,60 @@
+(** The typed error taxonomy of the rewriting pipeline.
+
+    Every failure a pipeline stage can produce is an {!Error} carrying
+    the {!stage} it originated in, the faulting code address when one
+    is known, and a human-readable detail string.  This module sits at
+    the bottom of the library graph so that every layer — decoder,
+    lifter, optimizer, backend, rewriter, emulator — can raise the
+    same structured error, and {!Obrew_core.Modes.transform_safe} can
+    catch and classify it without string matching. *)
+
+type stage =
+  | Decode   (** binary → {!Obrew_x86.Insn.insn} *)
+  | Lift     (** binary → IR (Sec. III) *)
+  | Opt      (** IR pass pipeline *)
+  | Verify   (** IR well-formedness checking *)
+  | Isel     (** IR → machine instructions *)
+  | Encode   (** instruction assembling / DBrew code emission *)
+  | Install  (** placing code into the image *)
+  | Emulate  (** executing emitted code *)
+
+type t = {
+  stage : stage;
+  addr : int option;  (** faulting code address, when known *)
+  detail : string;
+}
+
+exception Error of t
+
+let stage_name = function
+  | Decode -> "decode" | Lift -> "lift" | Opt -> "opt"
+  | Verify -> "verify" | Isel -> "isel" | Encode -> "encode"
+  | Install -> "install" | Emulate -> "emulate"
+
+let all_stages =
+  [ Decode; Lift; Opt; Verify; Isel; Encode; Install; Emulate ]
+
+let to_string e =
+  match e.addr with
+  | Some a -> Printf.sprintf "[%s @ 0x%x] %s" (stage_name e.stage) a e.detail
+  | None -> Printf.sprintf "[%s] %s" (stage_name e.stage) e.detail
+
+let make ?addr stage detail = { stage; addr; detail }
+
+(** [fail ?addr stage fmt ...] raises {!Error} with a formatted
+    detail. *)
+let fail ?addr stage fmt =
+  Printf.ksprintf (fun s -> raise (Error { stage; addr; detail = s })) fmt
+
+(** True when the error was produced by an armed {!Fault} injection
+    point rather than by real pipeline logic. *)
+let injected e =
+  String.length e.detail >= 9 && String.sub e.detail 0 9 = "injected:"
+
+(** Wrap an arbitrary exception that escaped a pipeline stage.
+    {!Error} values pass through unchanged. *)
+let of_exn ~stage = function
+  | Error e -> e
+  | exn ->
+    { stage; addr = None;
+      detail = "unexpected exception: " ^ Printexc.to_string exn }

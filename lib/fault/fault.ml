@@ -1,0 +1,151 @@
+(** Deterministic fault injection for the rewriting pipeline.
+
+    Each pipeline stage is instrumented with named injection points
+    ([Fault.point "opt.gvn"], ["decode.truncated"], ["backend.isel"],
+    …).  With no plan installed a point is a cheap no-op; an installed
+    {!plan} arms a subset of points, and an armed point raises the
+    typed {!Err.Error} of its stage with an ["injected: …"] detail.
+    Plans are plain data — a QCheck generator (or [--fault] on the
+    CLI) produces them deterministically from a seed, which makes every
+    failing run replayable. *)
+
+type arm = {
+  a_point : string;     (** injection point name, e.g. ["opt.gvn"] *)
+  mutable a_skip : int; (** let this many hits pass unharmed first *)
+  mutable a_fires : int;(** then fail this many hits; [-1] = forever *)
+}
+
+type plan = arm list
+
+let arm ?(skip = 0) ?(fires = -1) point =
+  { a_point = point; a_skip = skip; a_fires = fires }
+
+(** Every injection point wired into the pipeline, with the stage its
+    injected error carries. *)
+let known_points : (string * Err.stage) list =
+  [ ("decode.truncated", Err.Decode);
+    ("encode.assemble", Err.Encode);
+    ("install.code", Err.Install);
+    ("lift.discover", Err.Lift);
+    ("lift.block", Err.Lift);
+    ("opt.simplifycfg", Err.Opt);
+    ("opt.instcombine", Err.Opt);
+    ("opt.mem2reg", Err.Opt);
+    ("opt.gvn", Err.Opt);
+    ("opt.dce", Err.Opt);
+    ("opt.inline", Err.Opt);
+    ("opt.licm", Err.Opt);
+    ("opt.unroll", Err.Opt);
+    ("opt.vectorize", Err.Opt);
+    ("verify.func", Err.Verify);
+    ("backend.isel", Err.Isel);
+    ("rewrite.trace", Err.Encode);
+    ("rewrite.emit", Err.Encode);
+    ("emulate.scratch", Err.Emulate) ]
+
+let point_names = List.map fst known_points
+
+let stage_of_point name =
+  match List.assoc_opt name known_points with
+  | Some s -> s
+  | None -> (
+    (* unknown points are still classified by their prefix *)
+    match String.index_opt name '.' with
+    | Some i -> (
+      match String.sub name 0 i with
+      | "decode" -> Err.Decode | "lift" -> Err.Lift | "opt" -> Err.Opt
+      | "verify" -> Err.Verify | "isel" | "backend" -> Err.Isel
+      | "encode" | "rewrite" -> Err.Encode | "install" -> Err.Install
+      | "emulate" | "emu" -> Err.Emulate | _ -> Err.Opt)
+    | None -> Err.Opt)
+
+(* ------------------------------------------------------------------ *)
+(* Plan state                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let current : plan ref = ref []
+let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 32
+let fired_count = ref 0
+
+(** Install [p], replacing any previous plan and resetting counters. *)
+let install (p : plan) =
+  current := p;
+  Hashtbl.reset hit_counts;
+  fired_count := 0
+
+(** Remove the active plan; every point becomes a no-op again. *)
+let clear () = install []
+
+(** True while a plan with at least one arm is installed.  Memo caches
+    use this to avoid recording (or serving) results produced under
+    injection. *)
+let active () = !current <> []
+
+(** Faults injected since the last {!install}. *)
+let fired () = !fired_count
+
+(** Times each point was reached since the last {!install} (armed or
+    not — only recorded while a plan is active). *)
+let hits () = Hashtbl.fold (fun k v acc -> (k, v) :: acc) hit_counts []
+
+(** [point ?addr name]: no-op without a plan; under a plan, raise the
+    typed error of [name]'s stage if the matching arm is due. *)
+let point ?addr name =
+  match !current with
+  | [] -> ()
+  | plan -> (
+    Hashtbl.replace hit_counts name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts name));
+    match List.find_opt (fun a -> a.a_point = name) plan with
+    | None -> ()
+    | Some a ->
+      if a.a_skip > 0 then a.a_skip <- a.a_skip - 1
+      else if a.a_fires <> 0 then begin
+        if a.a_fires > 0 then a.a_fires <- a.a_fires - 1;
+        incr fired_count;
+        raise
+          (Err.Error
+             { stage = stage_of_point name; addr;
+               detail = "injected: fault at " ^ name })
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Plan syntax (CLI)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse ["point[:skip[:fires]],point..."], e.g.
+    ["opt.gvn,rewrite.trace:0:1"].  Unknown point names are rejected. *)
+let parse (s : string) : (plan, string) result =
+  let parse_arm spec =
+    match String.split_on_char ':' spec with
+    | [ p ] -> Ok (arm p)
+    | [ p; sk ] -> (
+      match int_of_string_opt sk with
+      | Some sk -> Ok (arm ~skip:sk p)
+      | None -> Error (Printf.sprintf "bad skip count in %S" spec))
+    | [ p; sk; fi ] -> (
+      match (int_of_string_opt sk, int_of_string_opt fi) with
+      | Some sk, Some fi -> Ok (arm ~skip:sk ~fires:fi p)
+      | _ -> Error (Printf.sprintf "bad counts in %S" spec))
+    | _ -> Error (Printf.sprintf "malformed arm %S" spec)
+  in
+  let specs =
+    List.filter (fun s -> s <> "") (String.split_on_char ',' s)
+  in
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun arms ->
+          Result.bind (parse_arm spec) (fun a ->
+              if List.mem_assoc a.a_point known_points then Ok (a :: arms)
+              else
+                Error
+                  (Printf.sprintf "unknown injection point %S (known: %s)"
+                     a.a_point (String.concat ", " point_names)))))
+    (Ok []) specs
+  |> Result.map List.rev
+
+let pp_plan (p : plan) =
+  String.concat ","
+    (List.map
+       (fun a -> Printf.sprintf "%s:%d:%d" a.a_point a.a_skip a.a_fires)
+       p)

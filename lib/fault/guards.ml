@@ -1,0 +1,42 @@
+(** Resource guards: one record bundling every fuel/deadline knob of
+    the pipeline, threaded through {!Obrew_core.Modes.transform_safe}.
+
+    Each stage enforces its own budget and reports violations as typed
+    {!Err.Error}s, so a runaway input degrades into a recorded fallback
+    instead of hanging or exhausting memory. *)
+
+type t = {
+  emu_max_insns : int;
+  (** emulator watchdog: instruction budget for [Cpu.run] *)
+  lift_max_insns : int;
+  (** lifter instruction budget during block discovery *)
+  lift_max_blocks : int;
+  (** lifter basic-block budget during block discovery *)
+  opt_fuel : int;
+  (** optimizer fixpoint rounds per pass group *)
+  rewrite_max_emit : int;
+  (** DBrew emitted-instruction budget *)
+  rewrite_max_variants : int;
+  (** DBrew trace-point variant budget *)
+  rewrite_max_seconds : float;
+  (** DBrew wall-clock deadline for one rewrite *)
+}
+
+let default =
+  { emu_max_insns = 2_000_000_000;
+    lift_max_insns = 20_000;
+    lift_max_blocks = 2_000;
+    opt_fuel = 12;
+    rewrite_max_emit = 20_000;
+    rewrite_max_variants = 256;
+    rewrite_max_seconds = 10.0 }
+
+(** Tight budgets for tests and smoke runs. *)
+let strict =
+  { emu_max_insns = 50_000_000;
+    lift_max_insns = 5_000;
+    lift_max_blocks = 500;
+    opt_fuel = 8;
+    rewrite_max_emit = 5_000;
+    rewrite_max_variants = 64;
+    rewrite_max_seconds = 2.0 }

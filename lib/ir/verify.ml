@@ -266,13 +266,14 @@ let check (f : func) : string list =
 let check_module (m : modul) : string list =
   List.concat_map check m.funcs
 
-(** Raise [Failure] with a readable report when a function is
-    ill-formed. *)
+(** Raise a typed [Verify] error with a readable report when a
+    function is ill-formed. *)
 let assert_ok ?(ctx = "") (f : func) =
+  Obrew_fault.Fault.point "verify.func";
   match check f with
   | [] -> ()
   | errs ->
-    failwith
-      (Printf.sprintf "IR verification failed%s:\n%s\n%s"
-         (if ctx = "" then "" else " after " ^ ctx)
-         (String.concat "\n" errs) (Pp_ir.func f))
+    Obrew_fault.Err.fail Obrew_fault.Err.Verify
+      "IR verification failed%s:\n%s\n%s"
+      (if ctx = "" then "" else " after " ^ ctx)
+      (String.concat "\n" errs) (Pp_ir.func f)

@@ -13,25 +13,27 @@
 
 open Obrew_x86
 open Obrew_ir
+open Obrew_fault
 open Ins
 
-exception Lift_error of string
-
-let err fmt = Printf.ksprintf (fun s -> raise (Lift_error s)) fmt
+(* lifter failures are typed [Err.Lift] errors *)
+let err fmt = Err.fail Err.Lift fmt
 
 type config = {
   flag_cache : bool;   (* Sec. III-D *)
   facet_cache : bool;  (* Sec. III-C: cache non-primary facets *)
   use_gep : bool;      (* GEP-based addressing vs raw inttoptr (ablation) *)
   stack_size : int;    (* virtual stack bytes *)
-  max_insns : int;
+  max_insns : int;     (* discovery instruction budget (resource guard) *)
+  max_blocks : int;    (* discovery basic-block budget (resource guard) *)
   (* signatures of call targets, keyed by address *)
   callee_sigs : (int * signature) list;
 }
 
 let default_config =
   { flag_cache = true; facet_cache = true; use_gep = true;
-    stack_size = 1024; max_insns = 20000; callee_sigs = [] }
+    stack_size = 1024; max_insns = 20000; max_blocks = 2000;
+    callee_sigs = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Block discovery                                                     *)
@@ -46,7 +48,8 @@ type raw_block = {
          | `Fall of int ];
 }
 
-let discover ~read ~entry ~max_insns : raw_block list =
+let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
+  Fault.point ~addr:entry "lift.discover";
   (* pass 1: decode reachable instructions, collect leaders *)
   let insns : (int, Insn.insn * int) Hashtbl.t = Hashtbl.create 64 in
   let leaders : (int, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -59,11 +62,13 @@ let discover ~read ~entry ~max_insns : raw_block list =
     let continue_ = ref (not (Hashtbl.mem insns !a)) in
     while !continue_ do
       incr count;
-      if !count > max_insns then err "function too large to lift";
-      let i, len =
-        try Decode.decode ~read !a
-        with Decode.Decode_error m -> err "decode at 0x%x: %s" !a m
-      in
+      if !count > max_insns then
+        err "function too large to lift (budget: %d instructions)" max_insns;
+      if Hashtbl.length leaders > max_blocks then
+        err "function has too many basic blocks (budget: %d)" max_blocks;
+      (* decode failures propagate as typed [Decode] errors carrying
+         the faulting address *)
+      let i, len = Decode.decode ~read !a in
       Hashtbl.replace insns !a (i, len);
       let next = !a + len in
       (match i with
@@ -171,7 +176,7 @@ let ty_of_width = function
 
 let facet_of_width = function
   | Insn.W8 -> F_i8 | Insn.W16 -> F_i16 | Insn.W32 -> F_i32
-  | Insn.W64 -> invalid_arg "facet_of_width W64"
+  | Insn.W64 -> err "facet_of_width: W64 has no sub-register facet"
 
 let get_gpr64 st r = st.cur.gpr.(Reg.index r)
 
@@ -738,7 +743,7 @@ let lift_insn st (i : Insn.insn) : unit =
       match i with
       | Insn.Imul2 _ -> read_operand st w src
       | Insn.Imul3 (_, _, _, imm) -> CInt (t, imm)
-      | _ -> assert false
+      | _ -> err "imul: impossible instruction shape"
     in
     let r = Builder.bin st.b Mul t a bv in
     (* overflow flags: match the emulator's formulas *)
@@ -1159,7 +1164,10 @@ let lift ?(config = default_config) ~read ~entry ~name (sg : signature) :
     err "more than six integer arguments unsupported";
   if List.length (List.filter (fun t -> t = F64) sg.args) > 8 then
     err "more than eight float arguments unsupported";
-  let raw = discover ~read ~entry ~max_insns:config.max_insns in
+  let raw =
+    discover ~read ~entry ~max_insns:config.max_insns
+      ~max_blocks:config.max_blocks
+  in
   let b = Builder.create ~name ~sg in
   let st =
     { cfg = config; b;
@@ -1251,7 +1259,7 @@ let lift ?(config = default_config) ~read ~entry ~name (sg : signature) :
         | V id ->
           phis := (id, ty) :: !phis;
           V id
-        | _ -> assert false
+        | _ -> err "insert_phi returned a non-SSA value"
       in
       (* order: flags (6), xmm (16), gpr ptr (16), gpr i64 (16) — we
          insert at the front so build in reverse *)
@@ -1284,6 +1292,7 @@ let lift ?(config = default_config) ~read ~entry ~name (sg : signature) :
   (* lift each raw block *)
   List.iter
     (fun rb ->
+      Fault.point ~addr:rb.start "lift.block";
       let bid = bid_of rb.start in
       Builder.position b bid;
       let entry_st = Hashtbl.find st.final_states (-bid - 1000) in

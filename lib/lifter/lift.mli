@@ -16,14 +16,13 @@
     flag algebra — exactly as the paper describes; the optimizer is
     responsible for cleaning it up. *)
 
-exception Lift_error of string
-
 type config = {
   flag_cache : bool;   (** Sec. III-D; off = the Fig. 6b failure mode *)
   facet_cache : bool;  (** Sec. III-C facet value caching *)
   use_gep : bool;      (** GEP addressing; off = raw inttoptr (ablation) *)
   stack_size : int;    (** virtual stack bytes (Sec. III-F) *)
-  max_insns : int;     (** decoding budget *)
+  max_insns : int;     (** discovery instruction budget (resource guard) *)
+  max_blocks : int;    (** discovery basic-block budget (resource guard) *)
   callee_sigs : (int * Obrew_ir.Ins.signature) list;
   (** signatures of direct call targets, keyed by address: "the called
       function [must] be at least declared with an appropriate
@@ -37,8 +36,10 @@ val default_config : config
     System V signature [sg] (up to six integer/pointer and eight
     [F64] parameters).
 
-    @raise Lift_error on indirect jumps, unknown call targets,
-    unsupported instructions or oversized functions. *)
+    @raise Obrew_fault.Err.Error with stage [Lift] on indirect jumps,
+    unknown call targets, unsupported instructions or exceeded budgets,
+    and with stage [Decode] (and the faulting address) on undecodable
+    bytes. *)
 val lift :
   ?config:config ->
   read:(int -> int) ->

@@ -84,7 +84,8 @@ let inline_site (caller : func) (bid : int) (call_id : int)
     (callee : func) (args : value list) : unit =
   let blk = find_block caller bid in
   let rec split acc = function
-    | [] -> invalid_arg "inline_site: call not found"
+    | [] ->
+      Obrew_fault.Err.fail Obrew_fault.Err.Opt "inline: call site not found"
     | i :: tl when i.id = call_id -> (List.rev acc, i, tl)
     | i :: tl -> split (i :: acc) tl
   in

@@ -3,6 +3,7 @@
     floating-point optimizations as with -ffast-math). *)
 
 open Obrew_ir
+open Obrew_fault
 open Ins
 
 type options = {
@@ -16,13 +17,15 @@ type options = {
   (* constant memory oracle for fixation/setmem-style specialization *)
   const_load : addr:int -> len:int -> string option;
   verify_each : bool;           (* run the verifier after each pass *)
+  fuel : int;                   (* fixpoint rounds per pass group *)
 }
 
 let o3 =
   { level = 3; fast_math = true; force_vector_width = None;
     vector_aligned = false; inline_threshold = Inline.default_threshold;
     resolve_addr = (fun _ -> None);
-    const_load = (fun ~addr:_ ~len:_ -> None); verify_each = false }
+    const_load = (fun ~addr:_ ~len:_ -> None); verify_each = false;
+    fuel = 12 }
 
 let o0 = { o3 with level = 0 }
 
@@ -38,13 +41,17 @@ let bump name =
      | Some n -> (name, n + 1) :: List.remove_assoc name stats.pass_changes
      | None -> (name, 1) :: stats.pass_changes)
 
-(** Optimize one function in place. *)
-let run_func ?(opts = o3) (m : modul) (f : func) : unit =
+(* Core runner.  Every pass application is routed through [exec name
+   thunk]: the default executor hits the stage's fault-injection point
+   and runs the pass (typed [Opt] errors propagate); {!run_checked}
+   substitutes an executor that snapshots, verifies and drops. *)
+let run_func_with ~(exec : string -> (unit -> bool) -> bool)
+    ~(opts : options) (m : modul) (f : func) : unit =
   if opts.level = 0 then ()
   else begin
     let glookup name = List.find_opt (fun g -> g.gname = name) m.globals in
     let check name = if opts.verify_each then Verify.assert_ok ~ctx:name f in
-    let pass name p = if p () then begin bump name; check name end in
+    let pass name p = if exec name p then begin bump name; check name end in
     let instcombine () =
       Instcombine.run ~fast_math:opts.fast_math ~const_load:opts.const_load
         ~global_lookup:glookup f
@@ -53,10 +60,13 @@ let run_func ?(opts = o3) (m : modul) (f : func) : unit =
       { Inline.threshold = opts.inline_threshold;
         resolve_addr = opts.resolve_addr }
     in
+    let fuel = max 1 opts.fuel in
     (* main scalar pipeline to fixpoint *)
     let round () =
       let changed = ref false in
-      let p name g = if g () then begin changed := true; bump name; check name end in
+      let p name g =
+        if exec name g then begin changed := true; bump name; check name end
+      in
       p "simplifycfg" (fun () -> Simplify_cfg.run f);
       p "instcombine" instcombine;
       p "mem2reg" (fun () -> Mem2reg.run f);
@@ -65,29 +75,101 @@ let run_func ?(opts = o3) (m : modul) (f : func) : unit =
       !changed
     in
     pass "inline" (fun () -> Inline.run ~config:inline_cfg m f);
-    let budget = ref 12 in
+    let budget = ref fuel in
     while round () && !budget > 0 do decr budget done;
     (* loop transforms, then re-run the scalar pipeline *)
     if opts.level >= 2 then begin
       pass "licm" (fun () -> Licm.run f);
-      let budget = ref 6 in
+      let budget = ref (max 1 (fuel / 2)) in
       while round () && !budget > 0 do decr budget done;
       pass "unroll" (fun () -> Unroll.run ~fast_math:opts.fast_math f);
       (* clean up after unrolling so remaining loops are canonical
          before vectorization *)
-      let budget = ref 12 in
+      let budget = ref fuel in
       while round () && !budget > 0 do decr budget done;
       (match opts.force_vector_width with
        | Some w when opts.level >= 2 ->
          pass "vectorize" (fun () ->
              Vectorize.run ~width:w ~aligned:opts.vector_aligned f)
        | _ -> ());
-      let budget = ref 12 in
+      let budget = ref fuel in
       while round () && !budget > 0 do decr budget done
     end
   end
+
+let default_exec name g =
+  Fault.point ("opt." ^ name);
+  g ()
+
+(** Optimize one function in place. *)
+let run_func ?(opts = o3) (m : modul) (f : func) : unit =
+  run_func_with ~exec:default_exec ~opts m f
 
 (** Optimize every function of the module. *)
 let run ?(opts = o3) (m : modul) : unit =
   stats.pass_changes <- [];
   List.iter (run_func ~opts m) m.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Verifier-gated pipeline                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* IR functions are pure data, so a Marshal round-trip is a faithful
+   deep copy; restoring writes the copied state back into the same
+   physical record the module references. *)
+let snapshot (f : func) : string = Marshal.to_string f []
+
+let restore (f : func) (s : string) =
+  let g : func = Marshal.from_string s 0 in
+  f.blocks <- g.blocks;
+  f.next_id <- g.next_id;
+  f.always_inline <- g.always_inline
+
+(** Optimize one function with the verifier as a gate: after every
+    pass that reports a change, {!Verify.check} runs; running it after
+    each pass bisects a corrupted function to the offending pass
+    directly.  That pass's effect is rolled back to the pre-pass
+    snapshot, the pass is disabled for the rest of this function, and
+    optimization continues degraded.  A pass that raises (a typed
+    error, an injected fault, or any exception) is handled the same
+    way.  Returns the dropped passes with their typed errors. *)
+let run_func_checked ?(opts = o3) (m : modul) (f : func) :
+    (string * Err.t) list =
+  let dropped = ref [] in
+  let disabled = ref [] in
+  let exec name g =
+    if List.mem name !disabled then false
+    else begin
+      let saved = snapshot f in
+      let drop e =
+        restore f saved;
+        disabled := name :: !disabled;
+        dropped := (name, e) :: !dropped;
+        false
+      in
+      match
+        Fault.point ("opt." ^ name);
+        g ()
+      with
+      | changed ->
+        if not changed then false
+        else begin
+          match Verify.check f with
+          | [] -> true
+          | errs ->
+            drop
+              (Err.make Err.Verify
+                 (Printf.sprintf "pass %s broke the IR: %s" name
+                    (String.concat "; " errs)))
+        end
+      | exception Err.Error e -> drop e
+      | exception exn -> drop (Err.of_exn ~stage:Err.Opt exn)
+    end
+  in
+  run_func_with ~exec ~opts:{ opts with verify_each = false } m f;
+  List.rev !dropped
+
+(** {!run} with the verifier gate on every function of the module. *)
+let run_checked ?(opts = o3) (m : modul) : (string * Err.t) list =
+  stats.pass_changes <- [];
+  List.concat_map (run_func_checked ~opts m) m.funcs

@@ -19,6 +19,8 @@ type options = {
   const_load : addr:int -> len:int -> string option;
   (** constant-memory oracle for setmem-style specialization *)
   verify_each : bool;                (** run the verifier after passes *)
+  fuel : int;                        (** fixpoint rounds per pass group
+                                         (resource guard) *)
 }
 
 (** -O3 with fast-math, no forced vectorization. *)
@@ -38,3 +40,17 @@ val run_func : ?opts:options -> Ins.modul -> Ins.func -> unit
 
 (** Optimize every function of the module in place. *)
 val run : ?opts:options -> Ins.modul -> unit
+
+(** As {!run_func}, but verifier-gated: {!Verify.check} runs after
+    every changing pass, which bisects IR corruption to the offending
+    pass; that pass is rolled back (pre-pass snapshot), disabled for
+    the function, and optimization continues degraded.  A pass that
+    raises is dropped the same way.  Returns the dropped passes with
+    their typed errors. *)
+val run_func_checked :
+  ?opts:options -> Ins.modul -> Ins.func ->
+  (string * Obrew_fault.Err.t) list
+
+(** {!run_func_checked} over every function of the module. *)
+val run_checked :
+  ?opts:options -> Ins.modul -> (string * Obrew_fault.Err.t) list

@@ -73,7 +73,13 @@ let merge_chains (f : func) : bool =
     match mergeable with
     | None -> ()
     | Some b ->
-      let c = match b.term with Br c -> c | _ -> assert false in
+      let c =
+        match b.term with
+        | Br c -> c
+        | _ ->
+          Obrew_fault.Err.fail Obrew_fault.Err.Opt
+            "simplifycfg: mergeable block lost its Br terminator"
+      in
       let cb = find_block f c in
       (* phis in c have a single incoming: replace by their value *)
       let subst = Hashtbl.create 4 in
@@ -129,7 +135,13 @@ let skip_empty_blocks (f : func) : bool =
   in
   List.iter
     (fun b ->
-      let tgt = match b.term with Br t -> t | _ -> assert false in
+      let tgt =
+        match b.term with
+        | Br t -> t
+        | _ ->
+          Obrew_fault.Err.fail Obrew_fault.Err.Opt
+            "simplifycfg: forwarding block lost its Br terminator"
+      in
       let tb = find_block f tgt in
       let bpreds = try Hashtbl.find preds b.bid with Not_found -> [] in
       let tpreds = try Hashtbl.find preds tgt with Not_found -> [] in

@@ -199,7 +199,9 @@ let run ~width ?(aligned = false) (f : func) : bool =
           | V id when Hashtbl.mem vmap id -> Hashtbl.find vmap id
           | v when is_inv v -> splat v
           | CF64 _ -> splat v
-          | _ -> invalid_arg "vectorize: unexpected operand"
+          | _ ->
+            Obrew_fault.Err.fail Obrew_fault.Err.Opt
+              "vectorize: unexpected operand"
         in
         let align = if aligned then 16 else 8 in
         List.iter
@@ -246,7 +248,10 @@ let run ~width ?(aligned = false) (f : func) : bool =
                 Hashtbl.replace vmap i.id
                   (add vb ~ty:(Some vf64)
                      (FBin (op, vf64, vec_operand a, vec_operand b)))
-              | _ -> assert false)
+              | _ ->
+                Obrew_fault.Err.fail Obrew_fault.Err.Opt
+                  "vectorize: non-vectorizable instruction slipped \
+                   through the legality check")
           hb.instrs;
         let next_v = add vb ~ty:(Some I64) (Bin (Add, I64, V iv_v, CInt (I64, 2L))) in
         let cont = add vb ~ty:(Some I1) (Icmp (Slt, I64, next_v, boundm1)) in

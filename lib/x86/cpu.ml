@@ -18,10 +18,10 @@
       cache. *)
 
 open Insn
+open Obrew_fault
 
-exception Emu_error of string
-
-let err fmt = Printf.ksprintf (fun s -> raise (Emu_error s)) fmt
+(* emulator failures are typed [Err.Emulate] errors *)
+let err fmt = Err.fail Err.Emulate fmt
 
 (** A pre-decoded straight-line superblock: all instructions up to and
     including the first control-flow instruction (or a size cap),
@@ -945,8 +945,26 @@ let translate (c : Cost.t) (i : insn) : t -> int =
    longer than this are split into consecutive (chained) blocks *)
 let max_block_insns = 256
 
+(* Decode the straight-line run at [entry], but survive a decode
+   failure in the middle: the decodable prefix still becomes a valid
+   block (its last rip is the faulting address, so the next lookup
+   re-raises the typed error exactly there — the same behaviour as the
+   single-step engine, with nothing bogus left in the block cache).
+   Only a failure on the very first instruction propagates. *)
+let decode_prefix cpu entry ~max =
+  let rec go a n acc =
+    match fetch cpu a with
+    | exception Err.Error { stage = Err.Decode; _ } when acc <> [] ->
+      List.rev acc
+    | i, len ->
+      let acc = (i, a + len) :: acc in
+      if Decode.is_terminator i || n + 1 >= max then List.rev acc
+      else go (a + len) (n + 1) acc
+  in
+  go entry 0 []
+
 let build_block cpu entry : sblock =
-  let run = Decode.decode_run ~fetch:(fetch cpu) entry ~max:max_block_insns in
+  let run = decode_prefix cpu entry ~max:max_block_insns in
   let n = List.length run in
   let insns = Array.make n Ret and rips = Array.make n 0 in
   List.iteri
@@ -1028,12 +1046,18 @@ let next_block cpu (prev : sblock) addr : sblock =
 (** Magic return address that stops {!run}. *)
 let stop_addr = 0xDEAD0000
 
-exception Step_limit_exceeded
+(* watchdog: terminate runaway emulation with a typed [Emulate] error
+   carrying the rip it was stopped at *)
+let budget_exceeded cpu budget =
+  Err.fail ~addr:cpu.rip Err.Emulate
+    "watchdog: instruction budget of %d exceeded" budget
 
 (** Run until control returns to {!stop_addr}, one superblock at a
-    time.  [max_steps] bounds executed instructions; the overshoot
-    before the check is at most one block. *)
-let run ?(max_steps = 2_000_000_000) cpu =
+    time.  [max_insns] is the watchdog budget on executed instructions
+    (the overshoot before the check is at most one block); exceeding
+    it raises a typed [Emulate] error instead of hanging on emitted
+    infinite loops. *)
+let run ?(max_insns = 2_000_000_000) cpu =
   let steps = ref 0 in
   if cpu.rip <> stop_addr then begin
     let blk = ref (lookup_block cpu cpu.rip) in
@@ -1042,7 +1066,7 @@ let run ?(max_steps = 2_000_000_000) cpu =
       let b = !blk in
       exec_block cpu b;
       steps := !steps + Array.length b.sb_insns;
-      if !steps > max_steps then raise Step_limit_exceeded;
+      if !steps > max_insns then budget_exceeded cpu max_insns;
       if cpu.rip = stop_addr then continue := false
       else blk := next_block cpu b cpu.rip
     done
@@ -1050,13 +1074,14 @@ let run ?(max_steps = 2_000_000_000) cpu =
 
 (** Run until {!stop_addr} strictly one instruction at a time through
     the decode cache — the reference engine the superblock engine is
-    differentially tested against. *)
-let run_interp ?(max_steps = 2_000_000_000) cpu =
+    differentially tested against.  Same [max_insns] watchdog as
+    {!run}. *)
+let run_interp ?(max_insns = 2_000_000_000) cpu =
   let steps = ref 0 in
   while cpu.rip <> stop_addr do
     step cpu;
     incr steps;
-    if !steps > max_steps then raise Step_limit_exceeded
+    if !steps > max_insns then budget_exceeded cpu max_insns
   done
 
 (** Execution engine selector for {!call}: the superblock engine is
@@ -1067,7 +1092,7 @@ type engine = Superblocks | SingleStep
 (** Call the function at [fn] following the System V ABI: integer/
     pointer arguments in rdi..., floating point arguments in xmm0...;
     returns (rax, xmm0-as-float). *)
-let call ?(engine = Superblocks) ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
+let call ?(engine = Superblocks) ?(args = []) ?(fargs = []) ?max_insns cpu ~fn =
   List.iteri
     (fun i v ->
       match List.nth_opt Reg.arg_regs i with
@@ -1087,6 +1112,6 @@ let call ?(engine = Superblocks) ?(args = []) ?(fargs = []) ?max_steps cpu ~fn =
   push64 cpu (Int64.of_int stop_addr);
   cpu.rip <- fn;
   (match engine with
-   | Superblocks -> run ?max_steps cpu
-   | SingleStep -> run_interp ?max_steps cpu);
+   | Superblocks -> run ?max_insns cpu
+   | SingleStep -> run_interp ?max_insns cpu);
   (cpu.regs.(0), Int64.float_of_bits cpu.xlo.(0))

@@ -6,10 +6,11 @@
     addressing and AVX are rejected, mirroring the paper's scope. *)
 
 open Insn
+open Obrew_fault
 
-exception Decode_error of string
-
-let err fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+(* All decoder failures are typed [Err.Decode] errors; {!decode}
+   attaches the faulting instruction address. *)
+let err ?addr fmt = Err.fail ?addr Err.Decode fmt
 
 type state = {
   read : int -> int; (* byte fetch from the virtual address space *)
@@ -92,7 +93,7 @@ let decode_modrm st : int * rm_res =
       if force_disp32_nobase then i32 st
       else
         match md with 0 -> 0 | 1 -> i8 st | 2 -> i32 st
-                    | _ -> assert false
+                    | m -> err "impossible ModRM mod %d" m
     in
     (reg, RMem { base; index; disp; seg = st.seg })
   end
@@ -192,7 +193,7 @@ let decode_0f st =
          match op with
          | 0x51 -> FSqrt | 0x58 -> FAdd | 0x59 -> FMul | 0x5c -> FSub
          | 0x5d -> FMin | 0x5e -> FDiv | 0x5f -> FMax
-         | _ -> assert false
+         | b -> err "impossible SSE arith opcode 0x%02x" b
        in
        SseArith (a, p, reg, xo))
   | 0x5a ->
@@ -310,7 +311,9 @@ let decode_one st =
       else if op = 0x80 then Int64.of_int (i8 st)
       else imm_for st (if w = W64 then W32 else w)
     in
-    Alu (alu_of_digit reg, w, gpr_operand st w rm, OImm imm)
+    (* mask REX.R out of the group digit: 0x81 with REX.R set would
+       otherwise hand alu_of_digit an index > 7 *)
+    Alu (alu_of_digit (reg land 7), w, gpr_operand st w rm, OImm imm)
   | 0x84 | 0x85 ->
     let w = if op = 0x84 then W8 else opwidth st in
     let reg, rm = decode_modrm st in
@@ -397,8 +400,11 @@ let decode_one st =
   | b -> err "unsupported opcode 0x%02x" b
 
 (** [decode ~read addr] decodes the instruction at virtual address
-    [addr], returning it together with its length in bytes. *)
+    [addr], returning it together with its length in bytes.
+    @raise Obrew_fault.Err.Error with stage [Decode] and the faulting
+    address on truncated or unknown byte sequences. *)
 let decode ~read addr : insn * int =
+  Fault.point ~addr "decode.truncated";
   let st =
     { read; start = addr; pos = addr; seg = None; opsize16 = false;
       repf2 = false; repf3 = false; rex = None }
@@ -417,7 +423,12 @@ let decode ~read addr : insn * int =
     | _ -> ()
   in
   prefixes ();
-  let i = decode_one st in
+  let i =
+    (* tag errors raised anywhere below with the instruction start *)
+    try decode_one st
+    with Err.Error ({ stage = Decode; addr = None; _ } as e) ->
+      raise (Err.Error { e with addr = Some st.start })
+  in
   let len = st.pos - st.start in
   (* report the true byte length of multi-byte NOPs *)
   let i = match i with Nop _ -> Nop len | i -> i in
@@ -428,7 +439,8 @@ let decode ~read addr : insn * int =
 let decode_all ~base (code : string) : (int * insn) list =
   let read a =
     let off = a - base in
-    if off < 0 || off >= String.length code then err "read out of bounds"
+    if off < 0 || off >= String.length code then
+      err ~addr:a "read out of bounds"
     else Char.code code.[off]
   in
   let rec go a acc =

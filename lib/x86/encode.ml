@@ -5,10 +5,10 @@
     lets {!assemble} lay out code in two simple passes. *)
 
 open Insn
+open Obrew_fault
 
-exception Encode_error of string
-
-let err fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+(* encoder failures are typed [Err.Encode] errors *)
+let err fmt = Err.fail Err.Encode fmt
 
 let fits_int8 v = v >= -128 && v <= 127
 let fits_int32 (v : int64) =
@@ -449,6 +449,7 @@ let length (i : insn) = String.length (encode_at ~addr:0 (with_dummy_targets i))
     label table. *)
 let assemble ~base (items : item list) :
     string * (int * insn) list * (int, int) Hashtbl.t =
+  Fault.point ~addr:base "encode.assemble";
   let labels = Hashtbl.create 16 in
   let addr = ref base in
   let placed =

@@ -61,6 +61,11 @@ let lookup t name =
     item sequence was installed before, its address is reused (and
     re-bound to [name]) instead of emitting a duplicate copy. *)
 let install_code ?name ?(dedup = false) t (items : Insn.item list) =
+  Obrew_fault.Fault.point "install.code";
+  (* content-addressing is a memo: while fault injection is live it
+     must not short-circuit the encoder, or injected encode faults
+     would depend on what happened to be installed earlier *)
+  let dedup = dedup && not (Obrew_fault.Fault.active ()) in
   let key =
     if dedup then Some (Digest.string (Marshal.to_string items [])) else None
   in
@@ -124,8 +129,8 @@ let disassemble_fn t addr =
   in
   go addr []
 
-let call ?engine ?args ?fargs ?max_steps t ~fn =
-  Cpu.call ?engine ?args ?fargs ?max_steps t.cpu ~fn
+let call ?engine ?args ?fargs ?max_insns t ~fn =
+  Cpu.call ?engine ?args ?fargs ?max_insns t.cpu ~fn
 
 (** Run [f] and report the cycle/instruction counts it consumed. *)
 let measure t f =

@@ -58,10 +58,11 @@ val disassemble_fn : t -> int -> (int * Insn.insn) list
 (** Call the function at [fn] per the System V ABI (integer args in
     rdi..., float args in xmm0...); returns (rax, xmm0 as float).
     [engine] selects the superblock engine (default) or the
-    single-step interpreter. *)
+    single-step interpreter.  [max_insns] is the watchdog budget: when
+    exceeded, a typed [Emulate] error terminates the run. *)
 val call :
   ?engine:Cpu.engine ->
-  ?args:int64 list -> ?fargs:float list -> ?max_steps:int ->
+  ?args:int64 list -> ?fargs:float list -> ?max_insns:int ->
   t -> fn:int -> int64 * float
 
 (** Run [f] and report (result, cycles consumed, instructions executed). *)

@@ -401,7 +401,9 @@ let prop_specialization_differential =
        | None -> ());
       let fn' = Api.dbrew_rewrite r in
       (match r.Api.last_error with
-       | Some m -> QCheck2.Test.fail_reportf "rewrite failed: %s" m
+       | Some e ->
+         QCheck2.Test.fail_reportf "rewrite failed: %s"
+           (Obrew_fault.Err.to_string e)
        | None -> ());
       List.for_all
         (fun (a, b) ->

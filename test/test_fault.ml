@@ -1,0 +1,181 @@
+(* Deterministic fault-injection harness (the robustness tentpole).
+
+   Random injection plans are thrown at the fail-safe pipeline; the
+   properties are the contract of [Modes.transform_safe]:
+   - it never raises, whatever fails inside the pipeline;
+   - the kernel it returns is runnable once the plan is cleared;
+   - the Jacobi result computed with that kernel is bit-identical to
+     the natively compiled kernel's result.
+
+   The suite is seed-deterministic: run with QCHECK_SEED=N for a
+   reproducible sequence (the CI smoke job pins the seed). *)
+
+open Obrew_core
+open Obrew_fault
+
+let sz = 9
+let iters = 2
+
+(* one shared workload: building an env compiles the whole benchmark
+   program, far too slow to repeat 500 times *)
+let shared = lazy (Modes.build ~sz ())
+
+let kinds = [ Modes.Direct; Modes.Flat; Modes.Sorted ]
+let styles = [ Modes.Element; Modes.Line ]
+
+let transforms =
+  [ Modes.Native; Modes.Llvm; Modes.LlvmFix; Modes.DBrew; Modes.DBrewLlvm ]
+
+(* native reference result bits per (kind, style), computed without any
+   plan installed *)
+let native_ref : (Modes.kind * Modes.style, int64 array) Hashtbl.t =
+  Hashtbl.create 8
+
+let reference kind style =
+  match Hashtbl.find_opt native_ref (kind, style) with
+  | Some r -> r
+  | None ->
+    let env = Lazy.force shared in
+    let kernel = Modes.native_addr env kind style in
+    ignore (Modes.run env kind style ~kernel ~iters);
+    let r =
+      Array.map Int64.bits_of_float (Modes.result_matrix env ~iters)
+    in
+    Hashtbl.replace native_ref (kind, style) r;
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Plan primitives                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse () =
+  (match Fault.parse "opt.gvn:1:2,decode.truncated" with
+   | Ok [ a; b ] ->
+     Alcotest.(check string) "point 1" "opt.gvn" a.Fault.a_point;
+     Alcotest.(check int) "skip 1" 1 a.Fault.a_skip;
+     Alcotest.(check int) "fires 1" 2 a.Fault.a_fires;
+     Alcotest.(check string) "point 2" "decode.truncated" b.Fault.a_point;
+     Alcotest.(check int) "skip 2" 0 b.Fault.a_skip
+   | Ok _ -> Alcotest.fail "expected two arms"
+   | Error m -> Alcotest.failf "parse failed: %s" m);
+  (match Fault.parse "no.such.point" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown point accepted");
+  match Fault.parse "opt.gvn:x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed skip accepted"
+
+let test_arm_semantics () =
+  (* skip 1, fire once: 2nd hit raises, 1st and 3rd pass through *)
+  Fault.install [ Fault.arm ~skip:1 ~fires:1 "opt.gvn" ];
+  Fault.point "opt.gvn";
+  (match Fault.point "opt.gvn" with
+   | () -> Alcotest.fail "second hit should raise"
+   | exception Err.Error e ->
+     Alcotest.(check bool) "tagged as injected" true (Err.injected e);
+     Alcotest.(check string) "stage" "opt" (Err.stage_name e.Err.stage));
+  Fault.point "opt.gvn";
+  Alcotest.(check int) "fired once" 1 (Fault.fired ());
+  Fault.clear ();
+  Fault.point "opt.gvn";
+  Alcotest.(check int) "inert after clear" 0 (Fault.fired ())
+
+let test_stage_mapping () =
+  List.iter
+    (fun (p, st) ->
+      Alcotest.(check string)
+        (Printf.sprintf "stage of %s" p)
+        (Err.stage_name st)
+        (Err.stage_name (Fault.stage_of_point p)))
+    Fault.known_points
+
+(* ------------------------------------------------------------------ *)
+(* The property: transform_safe is total and correct under injection   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_case =
+  QCheck2.Gen.(
+    let gen_arm =
+      let* p = oneofl (List.map fst Fault.known_points) in
+      let* skip = int_bound 2 in
+      let* fires = oneofl [ -1; 1; 2 ] in
+      return (p, skip, fires)
+    in
+    quad
+      (list_size (int_bound 3) gen_arm)
+      (oneofl kinds) (oneofl styles) (oneofl transforms))
+
+let prop_safe =
+  QCheck2.Test.make ~name:"transform_safe total under injection"
+    ~count:500 gen_case (fun (arms, kind, style, tr) ->
+      let env = Lazy.force shared in
+      let want = reference kind style in
+      Fault.install
+        (List.map (fun (p, skip, fires) -> Fault.arm ~skip ~fires p) arms);
+      let r =
+        match Modes.transform_safe env kind style tr with
+        | r -> Ok r
+        | exception exn -> Error exn
+      in
+      Fault.clear ();
+      match r with
+      | Error exn ->
+        QCheck2.Test.fail_reportf "transform_safe raised %s"
+          (Printexc.to_string exn)
+      | Ok r ->
+        (match
+           Modes.run ~max_insns:50_000_000 env kind style
+             ~kernel:r.Modes.kernel ~iters
+         with
+         | _ -> ()
+         | exception exn ->
+           QCheck2.Test.fail_reportf "kernel from %s not runnable: %s"
+             (Modes.transform_name r.Modes.used) (Printexc.to_string exn));
+        let got = Modes.result_matrix env ~iters in
+        Array.iteri
+          (fun i b ->
+            if Int64.bits_of_float got.(i) <> b then
+              QCheck2.Test.fail_reportf
+                "%s %s via %s: cell %d differs from native (%h vs %h)"
+                (Modes.kind_name kind) (Modes.style_name style)
+                (Modes.transform_name r.Modes.used) i got.(i)
+                (Int64.float_of_bits b))
+          want;
+        true)
+
+(* every single point, injected forever, must still degrade cleanly *)
+let test_every_point_lands () =
+  let env = Lazy.force shared in
+  List.iter
+    (fun (p, _) ->
+      Fault.install [ Fault.arm p ];
+      let r =
+        try Modes.transform_safe env Modes.Flat Modes.Element Modes.DBrewLlvm
+        with exn ->
+          Fault.clear ();
+          Alcotest.failf "point %s: raised %s" p (Printexc.to_string exn)
+      in
+      Fault.clear ();
+      ignore
+        (Modes.run ~max_insns:50_000_000 env Modes.Flat Modes.Element
+           ~kernel:r.Modes.kernel ~iters);
+      let got = Modes.result_matrix env ~iters in
+      let want = reference Modes.Flat Modes.Element in
+      Array.iteri
+        (fun i b ->
+          if Int64.bits_of_float got.(i) <> b then
+            Alcotest.failf "point %s via %s: cell %d differs" p
+              (Modes.transform_name r.Modes.used) i)
+        want)
+    Fault.known_points
+
+let () =
+  Alcotest.run "fault"
+    [ ( "plan",
+        [ Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "arm semantics" `Quick test_arm_semantics;
+          Alcotest.test_case "stage mapping" `Quick test_stage_mapping ] );
+      ( "harness",
+        [ Alcotest.test_case "every point lands" `Quick
+            test_every_point_lands;
+          QCheck_alcotest.to_alcotest prop_safe ] ) ]

@@ -60,7 +60,8 @@ let expect_lift_error items sg msg_part () =
     Lift.lift ~read:(Mem.read_u8 img.Image.cpu.Cpu.mem) ~entry:fn
       ~name:"f" sg
   with
-  | exception Lift.Lift_error m ->
+  | exception Obrew_fault.Err.Error e ->
+    let m = Obrew_fault.Err.to_string e in
     Alcotest.(check bool)
       (Printf.sprintf "error mentions %S (got %S)" msg_part m)
       true
@@ -90,7 +91,7 @@ let test_lift_rejects_many_args () =
     Lift.lift ~read:(Mem.read_u8 img.Image.cpu.Cpu.mem) ~entry:fn ~name:"f"
       { Ins.args = [ I64; I64; I64; I64; I64; I64; I64 ]; ret = None }
   with
-  | exception Lift.Lift_error _ -> ()
+  | exception Obrew_fault.Err.Error _ -> ()
   | _ -> Alcotest.fail "expected rejection of 7 integer args"
 
 (* ------------------------------------------------------------------ *)
@@ -395,6 +396,178 @@ let test_eight_point_specialization_wins () =
     true
     (c1 * 2 < c0 * 2 && c1 < c0)
 
+(* ------------------------------------------------------------------ *)
+(* Fail-safe pipeline: fault matrix, watchdog, cache hygiene           *)
+(* ------------------------------------------------------------------ *)
+
+open Obrew_fault
+
+(* Injecting one fault forever at each pipeline stage and requesting
+   the most sophisticated mode must land exactly where the degradation
+   chain predicts — and the degraded kernel must still compute the
+   native result. *)
+let test_fault_matrix () =
+  let open Obrew_core in
+  let sz = 9 and iters = 2 in
+  let env = Modes.build ~sz () in
+  let kernel = Modes.native_addr env Modes.Flat Modes.Element in
+  ignore (Modes.run env Modes.Flat Modes.Element ~kernel ~iters);
+  let want = Modes.result_matrix env ~iters in
+  List.iter
+    (fun (point, expect) ->
+      Fault.install [ Fault.arm point ];
+      let r =
+        try Modes.transform_safe env Modes.Flat Modes.Element Modes.DBrewLlvm
+        with exn ->
+          Fault.clear ();
+          Alcotest.failf "%s: transform_safe raised %s" point
+            (Printexc.to_string exn)
+      in
+      Fault.clear ();
+      Alcotest.(check string)
+        (Printf.sprintf "%s lands on" point)
+        (Modes.transform_name expect)
+        (Modes.transform_name r.Modes.used);
+      (* every failed attempt along the way is typed and injected *)
+      List.iter
+        (fun (_, e) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s failure is tagged injected" point)
+            true (Err.injected e))
+        r.Modes.failures;
+      ignore
+        (Modes.run env Modes.Flat Modes.Element ~kernel:r.Modes.kernel
+           ~iters);
+      let got = Modes.result_matrix env ~iters in
+      Array.iteri
+        (fun i e ->
+          if Int64.bits_of_float e <> Int64.bits_of_float got.(i) then
+            Alcotest.failf "%s via %s: cell %d differs" point
+              (Modes.transform_name r.Modes.used) i)
+        want)
+    [ (* rewriter entry fails -> both DBrew modes die -> Llvm *)
+      ("rewrite.trace", Modes.Llvm);
+      ("rewrite.emit", Modes.Llvm);
+      ("emulate.scratch", Modes.Llvm);
+      (* decoder fails everywhere (rewriter fetch and lifter) -> Native *)
+      ("decode.truncated", Modes.Native);
+      (* encoder fails for DBrew emission and the JIT backend -> Native *)
+      ("encode.assemble", Modes.Native);
+      ("install.code", Modes.Native);
+      (* lifter/optimizer/backend/verifier fail -> plain DBrew still ok *)
+      ("lift.discover", Modes.DBrew);
+      ("lift.block", Modes.DBrew);
+      ("opt.gvn", Modes.DBrew);
+      ("backend.isel", Modes.DBrew);
+      ("verify.func", Modes.DBrew) ]
+
+(* checked mode: an injected optimizer-pass failure is dropped and the
+   transform still lands on the requested mode *)
+let test_checked_drops_pass () =
+  let open Obrew_core in
+  let env = Modes.build ~sz:9 () in
+  Fault.install [ Fault.arm "opt.gvn" ];
+  let r =
+    Modes.transform_safe ~checked:true env Modes.Flat Modes.Element
+      Modes.DBrewLlvm
+  in
+  Fault.clear ();
+  Alcotest.(check string) "still DBrew+LLVM"
+    (Modes.transform_name Modes.DBrewLlvm)
+    (Modes.transform_name r.Modes.used);
+  Alcotest.(check bool) "gvn dropped" true
+    (List.exists (fun (p, _) -> p = "gvn") r.Modes.dropped)
+
+(* transient fault + retry: the fallback result must not be memoized as
+   a success; the retry must deliver the real specialized kernel *)
+let test_transient_fault_not_cached () =
+  let open Obrew_core in
+  let env = Modes.build ~sz:9 () in
+  Api.memo_reset ();
+  Fault.install [ Fault.arm ~fires:1 "rewrite.trace" ];
+  let r1 = Modes.transform_safe env Modes.Flat Modes.Element Modes.DBrew in
+  Fault.clear ();
+  Alcotest.(check string) "degraded to Llvm"
+    (Modes.transform_name Modes.Llvm)
+    (Modes.transform_name r1.Modes.used);
+  (* nothing may have been cached while the plan was installed *)
+  Alcotest.(check (pair int int)) "dbrew memo untouched" (0, 0)
+    (Api.memo_stats ());
+  Alcotest.(check (pair int int)) "transform memo untouched" (0, 0)
+    (Modes.memo_stats env);
+  let r2 = Modes.transform_safe env Modes.Flat Modes.Element Modes.DBrew in
+  Alcotest.(check string) "retry specializes"
+    (Modes.transform_name Modes.DBrew)
+    (Modes.transform_name r2.Modes.used);
+  Alcotest.(check int) "retry is clean" 0 (List.length r2.Modes.failures)
+
+(* the watchdog turns an emulated infinite loop into a typed error on
+   both execution engines *)
+let test_watchdog () =
+  let img = Image.create () in
+  let fn = Image.install_code img [ L 0; I (Jmp (Lbl 0)) ] in
+  List.iter
+    (fun engine ->
+      match Image.call img ~engine ~fn ~max_insns:10_000 with
+      | _ -> Alcotest.fail "infinite loop terminated?"
+      | exception Err.Error e ->
+        Alcotest.(check string) "stage" "emulate" (Err.stage_name e.Err.stage);
+        Alcotest.(check bool) "carries the looping address" true
+          (e.Err.addr <> None);
+        let mentions s sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "names the budget" true
+          (mentions e.Err.detail "budget"))
+    [ Cpu.Superblocks; Cpu.SingleStep ]
+
+(* a decode failure mid-block must behave identically on both engines
+   (typed error, same faulting address) and must not poison the block
+   cache *)
+let test_superblock_decode_failure () =
+  let run_once engine =
+    let img = Image.create () in
+    let fn =
+      Image.install_code img
+        [ I (Mov (W64, OReg Reg.RAX, OImm 7L)); I Ret ]
+    in
+    (* clobber the ret with an undecodable byte *)
+    let ret_addr = fn + 7 in
+    Mem.write_u8 img.Image.cpu.Cpu.mem ret_addr 0x06;
+    match Image.call img ~engine ~fn with
+    | _ -> Alcotest.fail "garbage executed"
+    | exception Err.Error e ->
+      (e.Err.stage, Option.map (fun a -> a - fn) e.Err.addr, ret_addr - fn)
+  in
+  let s1, o1, garbage1 = run_once Cpu.Superblocks in
+  let s2, o2, garbage2 = run_once Cpu.SingleStep in
+  Alcotest.(check string) "stage agrees" (Err.stage_name s2)
+    (Err.stage_name s1);
+  Alcotest.(check string) "stage is decode" "decode" (Err.stage_name s1);
+  Alcotest.(check (option int)) "faulting offset agrees" o2 o1;
+  Alcotest.(check (option int)) "address points at the garbage byte"
+    (Some garbage1) o1;
+  Alcotest.(check int) "same layout" garbage1 garbage2;
+  (* the cached prefix must still replay to the same typed error *)
+  let img = Image.create () in
+  let fn =
+    Image.install_code img [ I (Mov (W64, OReg Reg.RAX, OImm 7L)); I Ret ]
+  in
+  Mem.write_u8 img.Image.cpu.Cpu.mem (fn + 7) 0x06;
+  let fail_addr engine =
+    match Image.call img ~engine ~fn with
+    | _ -> None
+    | exception Err.Error e -> e.Err.addr
+  in
+  let first = fail_addr Cpu.Superblocks in
+  let second = fail_addr Cpu.Superblocks in
+  Alcotest.(check bool) "replay from cache raises identically" true
+    (first = second && first <> None)
+
 let () =
   Alcotest.run "integration"
     [ ("lifter ablations",
@@ -431,6 +604,15 @@ let () =
            test_eight_point_stencil;
          Alcotest.test_case "8-point speedup" `Quick
            test_eight_point_specialization_wins ]);
+      ("fail-safe pipeline",
+       [ Alcotest.test_case "fault matrix" `Quick test_fault_matrix;
+         Alcotest.test_case "checked drops broken pass" `Quick
+           test_checked_drops_pass;
+         Alcotest.test_case "transient fault not cached" `Quick
+           test_transient_fault_not_cached;
+         Alcotest.test_case "watchdog" `Quick test_watchdog;
+         Alcotest.test_case "superblock decode failure" `Quick
+           test_superblock_decode_failure ]);
       ("backend ops",
        [ Alcotest.test_case "sdiv/srem" `Quick test_backend_sdiv_srem;
          Alcotest.test_case "variable shifts" `Quick

@@ -153,7 +153,8 @@ let test_decode_rejects_garbage () =
     (fun bytes ->
       let read i = try List.nth bytes i with _ -> 0x90 in
       match Decode.decode ~read 0 with
-      | exception Decode.Decode_error _ -> ()
+      | exception Obrew_fault.Err.Error { Obrew_fault.Err.stage = Decode; _ }
+        -> ()
       | i, _ ->
         Alcotest.failf "garbage decoded as %s" (Pp.insn i))
     cases

@@ -371,7 +371,7 @@ let prop_differential =
                     f))
             else true)
           [ [ 3L; 5L ]; [ -3L; 5L ]; [ 0L; 0L ]; [ 123456789L; -987654321L ] ]
-      with Lift.Lift_error _ -> QCheck2.assume_fail ())
+      with Obrew_fault.Err.Error _ -> QCheck2.assume_fail ())
 
 let prop_differential_optimized =
   QCheck2.Test.make ~name:"optimized lifted = native" ~count:200 gen_prog
@@ -388,7 +388,7 @@ let prop_differential_optimized =
             || QCheck2.Test.fail_reportf "optimized mismatch on %s"
                  (String.concat "; " (List.map Pp.insn prog)))
           [ [ 3L; 5L ]; [ -3L; 5L ]; [ 0L; 0L ]; [ 1L; Int64.max_int ] ]
-      with Lift.Lift_error _ -> QCheck2.assume_fail ())
+      with Obrew_fault.Err.Error _ -> QCheck2.assume_fail ())
 
 (* ---- Fig. 5 shapes ---- *)
 
