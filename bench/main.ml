@@ -23,10 +23,13 @@ open Obrew_core
 open Bechamel
 open Toolkit
 
+module Tel = Obrew_telemetry.Telemetry
+
 let sz = ref 49
 let iters = ref 6
 let only = ref []
 let json_dir = ref None
+let trace_file = ref None
 
 let () =
   let rec parse = function
@@ -35,10 +38,23 @@ let () =
     | "--only" :: s :: tl -> only := s :: !only; parse tl
     | "--quick" :: tl -> sz := 25; iters := 3; parse tl
     | "--json" :: d :: tl -> json_dir := Some d; parse tl
+    | "--trace" :: f :: tl -> trace_file := Some f; parse tl
     | [] -> ()
     | a :: _ -> Printf.eprintf "unknown argument %s\n" a; exit 2
   in
-  parse (List.tl (Array.to_list Sys.argv))
+  parse (List.tl (Array.to_list Sys.argv));
+  (* refuse degenerate workloads up front: a zero-iteration or
+     sub-stencil run produces meaningless "results" that would silently
+     poison the cross-PR perf trajectory *)
+  if !sz < 3 then begin
+    Printf.eprintf "bench: --sz must be >= 3 (got %d)\n" !sz;
+    exit 2
+  end;
+  if !iters < 1 then begin
+    Printf.eprintf "bench: --iters must be >= 1 (got %d)\n" !iters;
+    exit 2
+  end;
+  if !trace_file <> None then Tel.enable ()
 
 let enabled name = !only = [] || List.mem name !only
 
@@ -65,6 +81,10 @@ let write_json section (fields : string list) =
     | Unix.Unix_error (e, _, arg) ->
       Printf.eprintf "warning: cannot write %s: %s: %s\n" path
         (Unix.error_message e) arg)
+
+(* bump when the shape of the BENCH_*.json files changes; consumers
+   (CI's validator, trajectory tooling) key on this *)
+let bench_schema_version = 1
 
 let jstr k v = Printf.sprintf "%S: %S" k v
 let jint k v = Printf.sprintf "%S: %d" k v
@@ -205,12 +225,22 @@ let fig9 env (style : Modes.style) =
               Modes.run env kind style ~kernel:k ~iters:!iters
             in
             let wall = Unix.gettimeofday () -. t0 in
+            if cycles <= 0 || insns <= 0 then begin
+              Printf.eprintf
+                "bench: garbage measurement for %s/%s (%d cycles, %d \
+                 insns) — refusing to record it\n"
+                kname (Modes.transform_name t) cycles insns;
+              exit 1
+            end;
             total_insns := !total_insns + insns;
             total_wall := !total_wall +. wall;
             rows :=
               jobj
                 (Printf.sprintf "%s/%s" kname (Modes.transform_name t))
-                [ jint "cycles" cycles; jint "insns" insns;
+                [ jstr "kind" kname;
+                  jstr "mode" (Modes.transform_name t);
+                  jint "cycles" cycles; jint "insns" insns;
+                  jint "wall_ns" (int_of_float (wall *. 1e9));
                   jfloat "wall_s" wall ]
               :: !rows;
             Printf.printf "%12.2f" (float_of_int cycles /. 1e6)
@@ -236,8 +266,14 @@ let fig9 env (style : Modes.style) =
   Printf.printf
     "memo caches: transform %d hits / %d misses, dbrew %d hits / %d misses\n"
     mh mm dh dm;
+  if !rows = [] then begin
+    Printf.eprintf "bench: fig%s produced no results — refusing to write \
+                    an empty report\n" label;
+    exit 1
+  end;
   write_json ("fig" ^ label)
-    [ jstr "section" ("fig" ^ label);
+    [ jint "schema_version" bench_schema_version;
+      jstr "section" ("fig" ^ label);
       jint "sz" !sz; jint "iters" !iters;
       jobj "rows" (List.rev !rows);
       jfloat "emulated_mips" mips;
@@ -391,4 +427,10 @@ let () =
   if enabled "vector" then vector env;
   if enabled "ablation_lifter" then ablation_lifter env;
   if enabled "ablation_passes" then ablation_passes env;
+  (match !trace_file with
+   | None -> ()
+   | Some f ->
+     Tel.write_file f (Tel.export_chrome_trace ());
+     Printf.printf "[trace: %d events written to %s (%d dropped)]\n"
+       (Tel.events_recorded ()) f (Tel.dropped ()));
   Printf.printf "\ndone.\n"

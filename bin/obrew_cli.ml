@@ -64,6 +64,37 @@ let fault_arg =
                'rewrite.trace:0:1,backend.isel'. Syntax: \
                point[:skip[:fires]] separated by commas.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record pipeline telemetry and write a chrome://tracing \
+               JSON trace to FILE (load it at chrome://tracing or \
+               ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Record pipeline telemetry and print aggregated metrics \
+               JSON to stdout (or write to FILE if given).")
+
+module Tel = Obrew_telemetry.Telemetry
+
+let telemetry_setup trace metrics =
+  if trace <> None || metrics <> None then Tel.enable ()
+
+let telemetry_finish trace metrics =
+  (match trace with
+   | None -> ()
+   | Some f ->
+     Tel.write_file f (Tel.export_chrome_trace ());
+     Printf.eprintf "trace: %d events written to %s (%d dropped)\n"
+       (Tel.events_recorded ()) f (Tel.dropped ()));
+  match metrics with
+  | None -> ()
+  | Some "-" -> print_string (Tel.export_metrics ())
+  | Some f ->
+    Tel.write_file f (Tel.export_metrics ());
+    Printf.eprintf "metrics written to %s\n" f
+
 let install_fault_plan = function
   | None -> ()
   | Some p -> (
@@ -94,8 +125,10 @@ let print_stats (env : Modes.env) =
   if fired > 0 then Printf.printf "fault injection: %d fault(s) fired\n" fired
 
 let stencil_cmd =
-  let run sz iters kind style tr dump stats fallback max_insns fault =
+  let run sz iters kind style tr dump stats fallback max_insns fault trace
+      metrics =
     install_fault_plan fault;
+    telemetry_setup trace metrics;
     let env = Modes.build ~sz () in
     (try
        let kernel, used, dt =
@@ -124,18 +157,20 @@ let stencil_cmd =
               (Obrew_x86.Image.disassemble_fn env.Modes.img kernel))
      with Err.Error e ->
        Printf.eprintf "transformation failed: %s\n" (Err.to_string e);
+       telemetry_finish trace metrics;
        exit 1);
-    ()
+    telemetry_finish trace metrics
   in
   Cmd.v
     (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
     Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
           $ transform_arg $ dump_arg $ stats_arg $ fallback_arg
-          $ max_insns_arg $ fault_arg)
+          $ max_insns_arg $ fault_arg $ trace_arg $ metrics_arg)
 
 let modes_cmd =
-  let run sz iters style stats fault =
+  let run sz iters style stats fault trace metrics =
     install_fault_plan fault;
+    telemetry_setup trace metrics;
     let env = Modes.build ~sz () in
     Printf.printf "%-14s" "";
     let transforms =
@@ -159,13 +194,14 @@ let modes_cmd =
         print_newline ())
       [ (Modes.Direct, "Direct"); (Modes.Flat, "Struct");
         (Modes.Sorted, "SortedStruct") ];
-    if stats then print_stats env
+    if stats then print_stats env;
+    telemetry_finish trace metrics
   in
   Cmd.v
     (Cmd.info "modes"
        ~doc:"All five modes side by side (Fig. 9, in Mcycles).")
     Term.(const run $ sz_arg $ iters_arg $ style_arg $ stats_arg
-          $ fault_arg)
+          $ fault_arg $ trace_arg $ metrics_arg)
 
 let fig6_cmd =
   let run () =

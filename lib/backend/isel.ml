@@ -1331,7 +1331,7 @@ let collect_addr_only (f : func) : (int, unit) Hashtbl.t =
 
 (** Emit a complete function as assembly items (labels use block ids;
     extra labels start above them). *)
-let emit_func ?(global_addr = fun g -> err "unresolved global @%s" g)
+let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
     ?(func_addr = fun n -> err "unresolved function @%s" n) (f : func) :
     Insn.item list =
   Obrew_fault.Fault.point "backend.isel";
@@ -1468,3 +1468,8 @@ let emit_func ?(global_addr = fun g -> err "unresolved global @%s" g)
     (List.rev al.used_callee_saved);
   emit ctx Insn.Ret;
   List.rev ctx.out
+
+(** Emit a complete function, as a [backend.isel] telemetry span. *)
+let emit_func ?global_addr ?func_addr (f : func) : Insn.item list =
+  Obrew_telemetry.Telemetry.span "backend.isel" ~args:f.fname (fun () ->
+      emit_func_impl ?global_addr ?func_addr f)

@@ -20,11 +20,12 @@ let install_global (img : Image.t) (g : global) : int =
     specialization pipeline) reuses the existing copy instead of
     growing the code region and invalidating caches. *)
 let install_func (img : Image.t) (f : func) : int =
-  let items =
-    Isel.emit_func ~global_addr:(Image.lookup img)
-      ~func_addr:(Image.lookup img) f
-  in
-  Image.install_code ~name:f.fname ~dedup:true img items
+  Obrew_telemetry.Telemetry.span "jit.emit" ~args:f.fname (fun () ->
+      let items =
+        Isel.emit_func ~global_addr:(Image.lookup img)
+          ~func_addr:(Image.lookup img) f
+      in
+      Image.install_code ~name:f.fname ~dedup:true img items)
 
 (** Install all globals, then all functions in order (callees must
     precede callers in [m.funcs]). *)

@@ -220,7 +220,7 @@ let intervals (f : func) : interval list * int list * (int, int) Hashtbl.t =
   (List.sort (fun a b -> compare a.istart b.istart) lst, order, pos)
 
 (** Linear scan. *)
-let allocate (f : func) : alloc =
+let allocate_impl (f : func) : alloc =
   let ivs, order, _pos = intervals f in
   let locs : (int, loc) Hashtbl.t = Hashtbl.create 64 in
   let active : (interval * loc) list ref = ref [] in
@@ -294,3 +294,8 @@ let allocate (f : func) : alloc =
     ivs;
   let frame = (!next_slot + 15) land lnot 15 in
   { locs; frame_size = frame; used_callee_saved = !used_callee; order }
+
+(** Linear scan, as a [backend.regalloc] telemetry span. *)
+let allocate (f : func) : alloc =
+  Obrew_telemetry.Telemetry.span "backend.regalloc" ~args:f.fname (fun () ->
+      allocate_impl f)

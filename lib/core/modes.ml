@@ -19,6 +19,7 @@ open Obrew_backend
 open Obrew_dbrew
 open Obrew_stencil
 open Obrew_fault
+module Tel = Obrew_telemetry.Telemetry
 
 type kind = Direct | Flat | Sorted
 type style = Element | Line
@@ -116,6 +117,9 @@ let transform_key env ~(lift_config : Lift.config)
 
 let memo_stats env = (env.memo_hits, env.memo_misses)
 
+let c_memo_hit = Tel.counter "transform.memo_hits"
+let c_memo_miss = Tel.counter "transform.memo_misses"
+
 (** Apply [t] to the kernel [(kind, style)].  Returns the address of
     the drop-in replacement and the transformation (compile) time in
     seconds — the quantity of Fig. 10.
@@ -176,10 +180,18 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
   match Option.bind key (Hashtbl.find_opt env.memo) with
   | Some addr ->
     env.memo_hits <- env.memo_hits + 1;
+    Tel.incr_c c_memo_hit;
     (addr, Unix.gettimeofday () -. t0)
   | None ->
-  if use_memo then env.memo_misses <- env.memo_misses + 1;
+  if use_memo then begin
+    env.memo_misses <- env.memo_misses + 1;
+    Tel.incr_c c_memo_miss
+  end;
   let addr =
+    Tel.span
+      ("transform." ^ transform_name t)
+      ~args:(kernel_name kind style)
+      (fun () ->
     match t with
     | Native -> orig
     | Llvm ->
@@ -239,7 +251,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
         let m = { Ins.funcs = [ f ]; globals = [] } in
         optimize m;
         Verify.assert_ok ~ctx:"dbrew+llvm" f;
-        Jit.install_func env.img f)
+        Jit.install_func env.img f))
   in
   (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());
   (addr, Unix.gettimeofday () -. t0)
@@ -285,26 +297,45 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
       (* unreachable in practice (Native cannot fail), but stay total *)
       Robust.record_landing ~degraded:(t <> Native)
         (transform_name Native);
+      if !Tel.enabled then
+        Tel.instant "fallback.landed"
+          ~args:(transform_name Native ^ " (degraded)");
       { kernel = native_addr env kind style; used = Native;
         seconds = Unix.gettimeofday () -. t0;
         failures = List.rev failures; dropped = [] }
     | m :: rest -> (
       Robust.record_attempt ();
+      if !Tel.enabled then
+        Tel.instant "fallback.attempt" ~args:(transform_name m);
       match transform ?use_memo ?lift_config ?opt ?checked ?guards
               env kind style m with
       | addr, _ ->
         Robust.record_landing ~degraded:(m <> t) (transform_name m);
+        if !Tel.enabled then
+          Tel.instant "fallback.landed"
+            ~args:
+              (transform_name m ^ if m <> t then " (degraded)" else "");
         { kernel = addr; used = m;
           seconds = Unix.gettimeofday () -. t0;
           failures = List.rev failures; dropped = env.last_dropped }
       | exception Err.Error e ->
         Robust.record_failure e;
+        if !Tel.enabled then
+          Tel.instant "fallback.failure"
+            ~args:
+              (Printf.sprintf "%s: %s" (transform_name m)
+                 (Err.stage_name e.Err.stage));
         go ((m, e) :: failures) rest
       | exception exn ->
         (* anything untyped that escapes is still a recorded failure,
            not a crash; attribute it to the stage that wraps codegen *)
         let e = Err.of_exn ~stage:Err.Encode exn in
         Robust.record_failure e;
+        if !Tel.enabled then
+          Tel.instant "fallback.failure"
+            ~args:
+              (Printf.sprintf "%s: %s" (transform_name m)
+                 (Err.stage_name e.Err.stage));
         go ((m, e) :: failures) rest)
   in
   go [] (chain_from t)

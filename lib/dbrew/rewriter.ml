@@ -193,7 +193,9 @@ type maddr =
   | AUnknown
 
 let resolve_addr st (m : mem_addr) : maddr =
-  if m.seg <> None then AUnknown
+  (* rip mems are absolutized at fetch; treat a stray one as unknown
+     rather than misreading its raw displacement as an absolute *)
+  if m.seg <> None || m.rip then AUnknown
   else
     let base =
       match m.base with
@@ -294,6 +296,8 @@ let materialize rw ts r =
 
 (* fold known registers inside a memory operand; may materialize *)
 let fold_mem rw ts (m : mem_addr) : mem_addr =
+  if m.rip then m (* absolutized at fetch; never fold a stray one *)
+  else
   let base_known, bdisp, bkeep =
     match m.base with
     | None -> (true, 0, None)
@@ -579,8 +583,22 @@ let emit_subst rw ts (i : insn) (io : io) =
   post_emit ts io i
 
 (* decode helper; failures propagate as typed [Decode] errors with the
-   faulting address *)
-let fetch rw pc = Decode.decode ~read:(Mem.read_u8 rw.mem) pc
+   faulting address.  RIP-relative operands are absolutized here: the
+   raw disp32 is relative to the end of the *original* instruction, so
+   re-emitting it verbatim at a different address would silently
+   retarget the access — as an absolute operand it stays correct
+   wherever the specialized copy lands (and resolve_addr/fold_mem see
+   an ordinary known-base address). *)
+let fetch rw pc =
+  let i, len = Decode.decode ~read:(Mem.read_u8 rw.mem) pc in
+  let i =
+    Insn.map_mem
+      (fun (m : mem_addr) ->
+        if m.rip then { m with rip = false; disp = m.disp + pc + len }
+        else m)
+      i
+  in
+  (i, len)
 
 exception Trace_done
 

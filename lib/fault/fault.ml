@@ -103,6 +103,8 @@ let point ?addr name =
       else if a.a_fires <> 0 then begin
         if a.a_fires > 0 then a.a_fires <- a.a_fires - 1;
         incr fired_count;
+        if !Obrew_telemetry.Telemetry.enabled then
+          Obrew_telemetry.Telemetry.instant "fault.injected" ~args:name;
         raise
           (Err.Error
              { stage = stage_of_point name; addr;

@@ -48,6 +48,22 @@ type raw_block = {
          | `Fall of int ];
 }
 
+module Tel = Obrew_telemetry.Telemetry
+
+(* Resolve a RIP-relative memory operand to the absolute address it
+   names: the decoder keeps the raw disp32 (relative to the end of the
+   instruction), and here — right after decoding, where the
+   instruction extent is known — it becomes an ordinary absolute
+   operand, which {!lift_addr} lowers through the pointer facet like
+   any other constant address. *)
+let resolve_rip a len i =
+  Insn.map_mem
+    (fun (m : Insn.mem_addr) ->
+      if m.Insn.rip then
+        { m with Insn.rip = false; disp = m.Insn.disp + a + len }
+      else m)
+    i
+
 let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
   Fault.point ~addr:entry "lift.discover";
   (* pass 1: decode reachable instructions, collect leaders *)
@@ -57,6 +73,8 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
   let work = Queue.create () in
   Queue.add entry work;
   let count = ref 0 in
+  let dargs = if !Tel.enabled then Printf.sprintf "0x%x" entry else "" in
+  Tel.span "decode.discover" ~args:dargs (fun () ->
   while not (Queue.is_empty work) do
     let a = ref (Queue.pop work) in
     let continue_ = ref (not (Hashtbl.mem insns !a)) in
@@ -69,6 +87,7 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
       (* decode failures propagate as typed [Decode] errors carrying
          the faulting address *)
       let i, len = Decode.decode ~read !a in
+      let i = resolve_rip !a len i in
       Hashtbl.replace insns !a (i, len);
       let next = !a + len in
       (match i with
@@ -92,7 +111,7 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
          if Hashtbl.mem insns next then continue_ := false
          else if Hashtbl.mem leaders next then continue_ := false)
     done
-  done;
+  done);
   (* pass 2: form blocks; a block also ends right before another leader
      (block splitting, Sec. III-B) *)
   let starts =
@@ -1158,7 +1177,7 @@ let lift_insn st (i : Insn.insn) : unit =
 (* ------------------------------------------------------------------ *)
 
 (** Lift the function at [entry] with the given System V [sg]. *)
-let lift ?(config = default_config) ~read ~entry ~name (sg : signature) :
+let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
     func =
   if List.length (List.filter (fun t -> t <> F64) sg.args) > 6 then
     err "more than six integer arguments unsupported";
@@ -1387,3 +1406,7 @@ let lift ?(config = default_config) ~read ~entry ~name (sg : signature) :
       pblk.instrs <- pblk.instrs @ [ ins ])
     (List.rev !pending);
   f
+
+let lift ?config ~read ~entry ~name (sg : signature) : func =
+  Tel.span "lift" ~args:name (fun () ->
+      lift_impl ?config ~read ~entry ~name sg)

@@ -6,6 +6,8 @@ open Obrew_ir
 open Obrew_fault
 open Ins
 
+module Tel = Obrew_telemetry.Telemetry
+
 type options = {
   level : int;                  (* 0..3 *)
   fast_math : bool;             (* -ffast-math analogue *)
@@ -47,6 +49,10 @@ let bump name =
    substitutes an executor that snapshots, verifies and drops. *)
 let run_func_with ~(exec : string -> (unit -> bool) -> bool)
     ~(opts : options) (m : modul) (f : func) : unit =
+  (* every pass application — via {!run} or {!run_checked} — becomes a
+     telemetry span named opt.<pass>, reproducing Fig. 10's per-stage
+     time breakdown as trace data *)
+  let exec name g = Tel.span ("opt." ^ name) ~args:f.fname (fun () -> exec name g) in
   if opts.level = 0 then ()
   else begin
     let glookup name = List.find_opt (fun g -> g.gname = name) m.globals in

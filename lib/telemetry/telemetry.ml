@@ -1,0 +1,345 @@
+(** Pipeline telemetry: spans, counters and histograms with a
+    preallocated ring-buffer event sink and two exporters
+    (chrome://tracing JSON and a flat metrics JSON).
+
+    The module is deliberately zero-dependency (stdlib + unix only) so
+    it can sit below every other library in the repo — the x86
+    substrate, the lifter, the optimizer, the backend, the DBrew
+    rewriter and the fault layer all emit through it.
+
+    Cost discipline: telemetry is compiled in but must be cheap when
+    off.  Every event-recording entry point starts with a single load
+    and branch on [enabled]; when the sink is disabled no closure is
+    allocated and no clock is read.  Counters are plain mutable ints
+    that always count (an unconditional increment is cheaper than the
+    branch would be); they are only *read* at export time.
+
+    Clock: spans are stamped with [now_ns], backed by
+    [Unix.gettimeofday].  The container exposes no monotonic-clock
+    binding without adding a dependency, so this is a documented
+    substitution — gettimeofday is monotonic in practice for the
+    millisecond-scale spans recorded here (same substitution DESIGN.md
+    makes for wall-clock benches). *)
+
+(* ------------------------------------------------------------------ *)
+(* Global switch                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let enabled = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let now_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Ring-buffer event sink                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Events live in parallel preallocated arrays; recording an event is
+   a few array stores, no allocation (the name and args strings are
+   shared, not copied).  [next] counts events ever recorded; the slot
+   for event [n] is [n mod cap], so once full the buffer keeps the
+   most recent [cap] events and [dropped ()] reports the overwritten
+   prefix. *)
+
+let default_capacity = 65536
+
+type sink = {
+  mutable cap : int;
+  mutable e_name : string array;
+  mutable e_kind : int array;    (* 0 = span, 1 = instant *)
+  mutable e_ts : int array;      (* ns *)
+  mutable e_dur : int array;     (* ns; 0 for instants *)
+  mutable e_args : string array; (* "" = none *)
+  mutable next : int;
+}
+
+let mk_sink cap = {
+  cap;
+  e_name = Array.make cap "";
+  e_kind = Array.make cap 0;
+  e_ts = Array.make cap 0;
+  e_dur = Array.make cap 0;
+  e_args = Array.make cap "";
+  next = 0;
+}
+
+let sink = mk_sink default_capacity
+
+let record ~kind ~name ~ts ~dur ~args =
+  let s = sink in
+  let i = s.next mod s.cap in
+  s.e_name.(i) <- name;
+  s.e_kind.(i) <- kind;
+  s.e_ts.(i) <- ts;
+  s.e_dur.(i) <- dur;
+  s.e_args.(i) <- args;
+  s.next <- s.next + 1
+
+let events_recorded () = sink.next
+let dropped () = max 0 (sink.next - sink.cap)
+let retained () = min sink.next sink.cap
+
+(* ------------------------------------------------------------------ *)
+(* Spans and instants                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [span name f] times [f ()] and records a complete span.  One
+    branch and nothing else when disabled.  The span is recorded even
+    if [f] raises (args gains a [!raised] marker), so a trace shows
+    where a failing pipeline spent its time. *)
+let span ?(args = "") name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = now_ns () in
+    match f () with
+    | v ->
+      record ~kind:0 ~name ~ts:t0 ~dur:(now_ns () - t0) ~args;
+      v
+    | exception e ->
+      let args = if args = "" then "!raised" else args ^ " !raised" in
+      record ~kind:0 ~name ~ts:t0 ~dur:(now_ns () - t0) ~args;
+      raise e
+  end
+
+(** Point-in-time event (fallback decisions, fault firings, cache
+    flushes). *)
+let instant ?(args = "") name =
+  if !enabled then record ~kind:1 ~name ~ts:(now_ns ()) ~dur:0 ~args
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Counters are registered records so hot paths hold a direct pointer:
+   incrementing is one load/add/store, no hashtable, no branch. *)
+
+type counter = { cname : string; mutable n : int }
+
+let counters : counter list ref = ref []
+
+let counter cname =
+  match List.find_opt (fun c -> c.cname = cname) !counters with
+  | Some c -> c
+  | None ->
+    let c = { cname; n = 0 } in
+    counters := c :: !counters;
+    c
+
+let incr_c (c : counter) = c.n <- c.n + 1
+let add_c (c : counter) k = c.n <- c.n + k
+
+(* ------------------------------------------------------------------ *)
+(* Histograms (log2 buckets)                                           *)
+(* ------------------------------------------------------------------ *)
+
+type histogram = {
+  hname : string;
+  buckets : int array; (* bucket b counts values in [2^b, 2^(b+1)) *)
+  mutable hcount : int;
+  mutable hsum : int;
+}
+
+let histograms : histogram list ref = ref []
+
+let histogram hname =
+  match List.find_opt (fun h -> h.hname = hname) !histograms with
+  | Some h -> h
+  | None ->
+    let h = { hname; buckets = Array.make 63 0; hcount = 0; hsum = 0 } in
+    histograms := h :: !histograms;
+    h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 and v = ref v in
+    while !v > 1 do v := !v lsr 1; incr b done;
+    min !b 62
+  end
+
+let observe (h : histogram) v =
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum + v
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reset () =
+  sink.next <- 0;
+  List.iter (fun c -> c.n <- 0) !counters;
+  List.iter
+    (fun h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.hcount <- 0;
+      h.hsum <- 0)
+    !histograms
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <> sink.cap then begin
+    let f = mk_sink capacity in
+    sink.cap <- f.cap;
+    sink.e_name <- f.e_name;
+    sink.e_kind <- f.e_kind;
+    sink.e_ts <- f.e_ts;
+    sink.e_dur <- f.e_dur;
+    sink.e_args <- f.e_args
+  end;
+  reset ();
+  enabled := true
+
+let disable () = enabled := false
+
+(* ------------------------------------------------------------------ *)
+(* JSON helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* iterate retained events oldest-first *)
+let iter_events f =
+  let s = sink in
+  let n = retained () in
+  let start = s.next - n in
+  for k = start to s.next - 1 do
+    let i = k mod s.cap in
+    f ~name:s.e_name.(i) ~kind:s.e_kind.(i) ~ts:s.e_ts.(i)
+      ~dur:s.e_dur.(i) ~args:s.e_args.(i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Exporter 1: chrome://tracing                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Trace-event JSON loadable by chrome://tracing / Perfetto: complete
+    spans as ph "X" (ts/dur in microseconds), instants as ph "i". *)
+let export_chrome_trace () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  iter_events (fun ~name ~kind ~ts ~dur ~args ->
+      if !first then first := false else Buffer.add_char buf ',';
+      let common =
+        Printf.sprintf "\"name\":\"%s\",\"pid\":1,\"tid\":1,\"ts\":%.3f"
+          (json_escape name)
+          (float_of_int ts /. 1e3)
+      in
+      let argfield =
+        if args = "" then ""
+        else Printf.sprintf ",\"args\":{\"detail\":\"%s\"}" (json_escape args)
+      in
+      if kind = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "{%s,\"ph\":\"X\",\"dur\":%.3f%s}" common
+             (float_of_int dur /. 1e3)
+             argfield)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "{%s,\"ph\":\"i\",\"s\":\"g\"%s}" common argfield));
+  Buffer.add_string buf "],";
+  Buffer.add_string buf
+    (Printf.sprintf "\"displayTimeUnit\":\"ms\",\"otherData\":{\
+                     \"dropped_events\":%d}}"
+       (dropped ()));
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Exporter 2: flat metrics JSON                                       *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_schema_version = 1
+
+(** Flat metrics JSON: all counters, histogram summaries, and
+    per-name span aggregates (count / total / max ns) computed over
+    the retained events. *)
+let export_metrics () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"schema_version\": %d,\n" metrics_schema_version);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_recorded\": %d,\n" (events_recorded ()));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_dropped\": %d,\n" (dropped ()));
+  (* counters *)
+  Buffer.add_string buf "  \"counters\": {";
+  let cs =
+    List.sort compare (List.map (fun c -> (c.cname, c.n)) !counters)
+  in
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+          cs));
+  Buffer.add_string buf "},\n";
+  (* histograms *)
+  Buffer.add_string buf "  \"histograms\": {";
+  let hs = List.sort (fun a b -> compare a.hname b.hname) !histograms in
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun h ->
+            let nz = ref [] in
+            Array.iteri
+              (fun b n -> if n > 0 then nz := (b, n) :: !nz)
+              h.buckets;
+            let bks =
+              String.concat ", "
+                (List.map
+                   (fun (b, n) -> Printf.sprintf "[%d, %d]" (1 lsl b) n)
+                   (List.rev !nz))
+            in
+            Printf.sprintf
+              "\"%s\": {\"count\": %d, \"sum\": %d, \"buckets\": [%s]}"
+              (json_escape h.hname) h.hcount h.hsum bks)
+          hs));
+  Buffer.add_string buf "},\n";
+  (* span aggregates from the retained ring *)
+  let tbl : (string, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  iter_events (fun ~name ~kind ~ts:_ ~dur ~args:_ ->
+      if kind = 0 then
+        let c, tot, mx =
+          Option.value ~default:(0, 0, 0) (Hashtbl.find_opt tbl name)
+        in
+        Hashtbl.replace tbl name (c + 1, tot + dur, max mx dur));
+  let spans =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  Buffer.add_string buf "  \"spans\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (name, (c, tot, mx)) ->
+            Printf.sprintf
+              "\"%s\": {\"count\": %d, \"total_ns\": %d, \"max_ns\": %d}"
+              (json_escape name) c tot mx)
+          spans));
+  Buffer.add_string buf "}\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* File output                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc

@@ -20,8 +20,19 @@
 open Insn
 open Obrew_fault
 
+module Tel = Obrew_telemetry.Telemetry
+
 (* emulator failures are typed [Err.Emulate] errors *)
 let err fmt = Err.fail Err.Emulate fmt
+
+(* engine telemetry: registered counters are direct pointers, so the
+   hot loops pay one unconditional increment, never a lookup *)
+let c_sb_exec = Tel.counter "sb.blocks_executed"
+let c_sb_hit = Tel.counter "sb.cache_hits"
+let c_sb_miss = Tel.counter "sb.cache_misses"
+let c_sb_chain = Tel.counter "sb.chain_hits"
+let c_sb_flush = Tel.counter "sb.flushes"
+let h_sb_len = Tel.histogram "sb.block_insns"
 
 (** A pre-decoded straight-line superblock: all instructions up to and
     including the first control-flow instruction (or a size cap),
@@ -139,10 +150,16 @@ let set_reg8h cpu r v =
 
 (* -------- memory access -------- *)
 
-(* full 64-bit effective address (what lea computes) *)
+(* full 64-bit effective address (what lea computes).  RIP-relative
+   operands resolve against [cpu.rip], which both engines advance to
+   the end of the current instruction *before* executing it (see
+   {!step} and {!exec_block}), matching hardware semantics where the
+   disp32 is relative to the next instruction. *)
 let effective cpu (m : mem_addr) : int64 =
   let b =
-    match m.base with Some r -> get_reg64 cpu r | None -> 0L
+    match m.base with
+    | Some r -> get_reg64 cpu r
+    | None -> if m.rip then Int64.of_int cpu.rip else 0L
   in
   let i =
     match m.index with
@@ -317,6 +334,13 @@ let max_insn_len = 15
     caches are cleared entirely. *)
 let flush_code ?range cpu =
   cpu.sb_flushes <- cpu.sb_flushes + 1;
+  Tel.incr_c c_sb_flush;
+  if !Tel.enabled then
+    Tel.instant "sb.flush"
+      ~args:
+        (match range with
+         | Some (lo, hi) -> Printf.sprintf "0x%x-0x%x" lo hi
+         | None -> "all");
   match range with
   | None ->
     Hashtbl.reset cpu.code;
@@ -964,8 +988,11 @@ let decode_prefix cpu entry ~max =
   go entry 0 []
 
 let build_block cpu entry : sblock =
+  let args = if !Tel.enabled then Printf.sprintf "0x%x" entry else "" in
+  Tel.span "sb.translate" ~args (fun () ->
   let run = decode_prefix cpu entry ~max:max_block_insns in
   let n = List.length run in
+  Tel.observe h_sb_len n;
   let insns = Array.make n Ret and rips = Array.make n 0 in
   List.iteri
     (fun k (i, next) ->
@@ -977,15 +1004,17 @@ let build_block cpu entry : sblock =
     sb_ops = Array.map (translate cpu.cost) insns;
     sb_rips = rips; sb_costs = costs;
     sb_static = Array.fold_left ( + ) 0 costs; sb_end = rips.(n - 1);
-    sb_valid = true; sb_link1 = None; sb_link2 = None }
+    sb_valid = true; sb_link1 = None; sb_link2 = None })
 
 let lookup_block cpu addr : sblock =
   match Hashtbl.find_opt cpu.blocks addr with
   | Some b when b.sb_valid ->
     cpu.sb_hits <- cpu.sb_hits + 1;
+    Tel.incr_c c_sb_hit;
     b
   | _ ->
     cpu.sb_misses <- cpu.sb_misses + 1;
+    Tel.incr_c c_sb_miss;
     let b = build_block cpu addr in
     Hashtbl.replace cpu.blocks addr b;
     b
@@ -998,6 +1027,7 @@ let lookup_block cpu addr : sblock =
    (with the executed prefix accounted exactly if an instruction
    faults). *)
 let exec_block cpu (b : sblock) =
+  Tel.incr_c c_sb_exec;
   let ops = b.sb_ops and rips = b.sb_rips in
   let n = Array.length ops in
   let penalties = ref 0 in
@@ -1026,11 +1056,13 @@ let next_block cpu (prev : sblock) addr : sblock =
   match prev.sb_link1 with
   | Some b when b.sb_entry = addr && b.sb_valid ->
     cpu.sb_chained <- cpu.sb_chained + 1;
+    Tel.incr_c c_sb_chain;
     b
   | _ ->
     (match prev.sb_link2 with
      | Some b when b.sb_entry = addr && b.sb_valid ->
        cpu.sb_chained <- cpu.sb_chained + 1;
+       Tel.incr_c c_sb_chain;
        b
      | _ ->
        let b = lookup_block cpu addr in
@@ -1058,31 +1090,33 @@ let budget_exceeded cpu budget =
     it raises a typed [Emulate] error instead of hanging on emitted
     infinite loops. *)
 let run ?(max_insns = 2_000_000_000) cpu =
-  let steps = ref 0 in
-  if cpu.rip <> stop_addr then begin
-    let blk = ref (lookup_block cpu cpu.rip) in
-    let continue = ref true in
-    while !continue do
-      let b = !blk in
-      exec_block cpu b;
-      steps := !steps + Array.length b.sb_insns;
-      if !steps > max_insns then budget_exceeded cpu max_insns;
-      if cpu.rip = stop_addr then continue := false
-      else blk := next_block cpu b cpu.rip
-    done
-  end
+  Tel.span "emulate.run" (fun () ->
+      let steps = ref 0 in
+      if cpu.rip <> stop_addr then begin
+        let blk = ref (lookup_block cpu cpu.rip) in
+        let continue = ref true in
+        while !continue do
+          let b = !blk in
+          exec_block cpu b;
+          steps := !steps + Array.length b.sb_insns;
+          if !steps > max_insns then budget_exceeded cpu max_insns;
+          if cpu.rip = stop_addr then continue := false
+          else blk := next_block cpu b cpu.rip
+        done
+      end)
 
 (** Run until {!stop_addr} strictly one instruction at a time through
     the decode cache — the reference engine the superblock engine is
     differentially tested against.  Same [max_insns] watchdog as
     {!run}. *)
 let run_interp ?(max_insns = 2_000_000_000) cpu =
-  let steps = ref 0 in
-  while cpu.rip <> stop_addr do
-    step cpu;
-    incr steps;
-    if !steps > max_insns then budget_exceeded cpu max_insns
-  done
+  Tel.span "emulate.interp" (fun () ->
+      let steps = ref 0 in
+      while cpu.rip <> stop_addr do
+        step cpu;
+        incr steps;
+        if !steps > max_insns then budget_exceeded cpu max_insns
+      done)
 
 (** Execution engine selector for {!call}: the superblock engine is
     the default; [SingleStep] forces the per-instruction interpreter

@@ -1,12 +1,14 @@
 (** Binary decoder: x86-64 machine code bytes to {!Insn.insn}.
 
     Covers exactly the encodings produced by {!Encode} plus the common
-    short forms (rel8 jumps, [b8+r] move-immediate) so that foreign
-    code following the same conventions also decodes.  RIP-relative
-    addressing and AVX are rejected, mirroring the paper's scope. *)
+    short forms (rel8 jumps, [b8+r] move-immediate, RIP-relative
+    addressing) so that foreign code following the same conventions
+    also decodes.  AVX is rejected, mirroring the paper's scope. *)
 
 open Insn
 open Obrew_fault
+
+module Tel = Obrew_telemetry.Telemetry
 
 (* All decoder failures are typed [Err.Decode] errors; {!decode}
    attaches the faulting instruction address. *)
@@ -68,6 +70,14 @@ let decode_modrm st : int * rm_res =
   let reg = ((modrm lsr 3) land 7) lor rex_r st in
   let rm = modrm land 7 in
   if md = 3 then (reg, RReg (rm lor rex_b st))
+  else if md = 0 && rm = 5 then begin
+    (* mod=00 rm=101 (no SIB): RIP+disp32.  The raw displacement is
+       kept as decoded — it is relative to the end of the whole
+       instruction (see {!Insn.mem_addr}), which consumers resolve
+       once the instruction extent is known. *)
+    let disp = i32 st in
+    (reg, RMem { base = None; index = None; disp; seg = st.seg; rip = true })
+  end
   else begin
     let base, index, force_disp32_nobase =
       if rm = 4 then begin
@@ -76,8 +86,9 @@ let decode_modrm st : int * rm_res =
         let idx = ((sib lsr 3) land 7) lor rex_x st in
         let bs = (sib land 7) lor rex_b st in
         let index =
-          if idx land 7 = 4 && rex_x st = 0 then None
-          else if idx = 4 then None (* 100 w/o REX.X = none *)
+          (* idx = 4 (rsp slot, REX.X clear) means "no index"; with
+             REX.X set the slot addresses r12, a valid index *)
+          if idx = 4 then None
           else
             Some
               ( Reg.of_index idx,
@@ -86,7 +97,6 @@ let decode_modrm st : int * rm_res =
         if md = 0 && bs land 7 = 5 then (None, index, true)
         else (Some (Reg.of_index bs), index, false)
       end
-      else if md = 0 && rm = 5 then err "RIP-relative addressing unsupported"
       else (Some (Reg.of_index (rm lor rex_b st)), None, false)
     in
     let disp =
@@ -95,7 +105,7 @@ let decode_modrm st : int * rm_res =
         match md with 0 -> 0 | 1 -> i8 st | 2 -> i32 st
                     | m -> err "impossible ModRM mod %d" m
     in
-    (reg, RMem { base; index; disp; seg = st.seg })
+    (reg, RMem { base; index; disp; seg = st.seg; rip = false })
   end
 
 let gpr_operand st idx_w rm =
@@ -403,8 +413,11 @@ let decode_one st =
     [addr], returning it together with its length in bytes.
     @raise Obrew_fault.Err.Error with stage [Decode] and the faulting
     address on truncated or unknown byte sequences. *)
+let c_decoded = Tel.counter "decode.insns"
+
 let decode ~read addr : insn * int =
   Fault.point ~addr "decode.truncated";
+  Tel.incr_c c_decoded;
   let st =
     { read; start = addr; pos = addr; seg = None; opsize16 = false;
       repf2 = false; repf3 = false; rex = None }
@@ -463,10 +476,12 @@ let is_terminator : insn -> bool = function
     instructions from a cache; it must agree with [read].  Returns the
     instructions paired with the address of the {e next} instruction. *)
 let decode_run ~fetch addr ~max : (insn * int) list =
-  let rec go a n acc =
-    let (i : insn), len = fetch a in
-    let acc = (i, a + len) :: acc in
-    if is_terminator i || n + 1 >= max then List.rev acc
-    else go (a + len) (n + 1) acc
-  in
-  go addr 0 []
+  let args = if !Tel.enabled then Printf.sprintf "0x%x" addr else "" in
+  Tel.span "decode.run" ~args (fun () ->
+      let rec go a n acc =
+        let (i : insn), len = fetch a in
+        let acc = (i, a + len) :: acc in
+        if is_terminator i || n + 1 >= max then List.rev acc
+        else go (a + len) (n + 1) acc
+      in
+      go addr 0 [])

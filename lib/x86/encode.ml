@@ -91,6 +91,14 @@ let enc_modrm buf ~rex_w ~opsize16 ~mandatory ~force_rex ~no_rex ~opcode
      let i = Reg.index r in
      if i > 3 then err "invalid high-byte register";
      buf_byte buf (0xc0 lor (regf lsl 3) lor (4 + i))
+   | RmMem m when m.rip ->
+     (* RIP-relative: mod=00 rm=101, no SIB; the stored displacement
+        is the raw disp32 (relative to end of instruction), re-emitted
+        verbatim so decode/encode round-trips are byte-identical *)
+     if m.base <> None || m.index <> None then
+       err "RIP-relative operand cannot carry base or index";
+     buf_byte buf (0x00 lor (regf lsl 3) lor 5);
+     buf_i32 buf m.disp
    | RmMem m ->
      let disp = m.disp in
      (match m.base, m.index with

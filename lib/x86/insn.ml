@@ -22,19 +22,33 @@ let scale_of_int = function
 
 type segment = FS | GS
 
-(** [base + index*scale + disp], optionally segment-relative. *)
+(** [base + index*scale + disp], optionally segment-relative.
+
+    When [rip] is set the operand is RIP-relative (mod=00 rm=101):
+    [base] and [index] are [None] and [disp] holds the raw signed
+    disp32 from the instruction encoding, relative to the address of
+    the *next* instruction (end of the whole instruction, including
+    any trailing immediate).  Keeping the raw displacement — instead
+    of absolutizing at decode time — makes [encode (decode bytes)]
+    byte-identical at any address; consumers that need the absolute
+    address add the end-of-instruction rip (the emulator reads it from
+    [Cpu.rip] at execution time, the lifter resolves it during block
+    discovery where instruction lengths are known). *)
 type mem_addr = {
   base : Reg.gpr option;
   index : (Reg.gpr * scale) option; (* index must not be RSP *)
   disp : int;                       (* signed, fits in 32 bits *)
   seg : segment option;
+  rip : bool;                       (* RIP-relative: base/index empty *)
 }
 
-let mk_mem ?base ?index ?(disp = 0) ?seg () = { base; index; disp; seg }
+let mk_mem ?base ?index ?(disp = 0) ?seg ?(rip = false) () =
+  { base; index; disp; seg; rip }
 let mem_abs disp = mk_mem ~disp ()
 let mem_base ?(disp = 0) base = mk_mem ~base ~disp ()
 let mem_bi ?(disp = 0) base index scale =
   mk_mem ~base ~index:(index, scale) ~disp ()
+let mem_rip disp = mk_mem ~disp ~rip:true ()
 
 (** Operand of an instruction; the operand width is carried by the
     instruction itself.  [OReg8H] denotes the legacy high-byte
@@ -189,6 +203,45 @@ type insn =
   | Nop of int                          (* multi-byte nop, 1..9 *)
   | Ud2
   | Int3
+
+(** Apply [g] to every memory operand of [i] — integer [OMem]
+    operands, SSE [Xm] operands and [Lea] addresses; identity
+    elsewhere.  Used by the lifter to resolve RIP-relative operands to
+    absolute addresses once instruction extents are known. *)
+let map_mem (g : mem_addr -> mem_addr) (i : insn) : insn =
+  let op = function OMem m -> OMem (g m) | o -> o in
+  let xo = function Xm m -> Xm (g m) | x -> x in
+  match i with
+  | Mov (w, d, s) -> Mov (w, op d, op s)
+  | Movzx (dw, d, sw, s) -> Movzx (dw, d, sw, op s)
+  | Movsx (dw, d, sw, s) -> Movsx (dw, d, sw, op s)
+  | Lea (r, m) -> Lea (r, g m)
+  | Alu (o2, w, d, s) -> Alu (o2, w, op d, op s)
+  | Test (w, d, s) -> Test (w, op d, op s)
+  | Imul2 (w, d, s) -> Imul2 (w, d, op s)
+  | Imul3 (w, d, s, im) -> Imul3 (w, d, op s, im)
+  | Idiv (w, s) -> Idiv (w, op s)
+  | Shift (o2, w, d, c) -> Shift (o2, w, op d, c)
+  | Unop (o2, w, d) -> Unop (o2, w, op d)
+  | Push o -> Push (op o)
+  | Pop o -> Pop (op o)
+  | CallInd o -> CallInd (op o)
+  | JmpInd o -> JmpInd (op o)
+  | Cmov (c, w, d, s) -> Cmov (c, w, d, op s)
+  | Setcc (c, d) -> Setcc (c, op d)
+  | SseMov (k, d, s) -> SseMov (k, xo d, xo s)
+  | SseArith (o2, p, d, s) -> SseArith (o2, p, d, xo s)
+  | SseLogic (o2, d, s) -> SseLogic (o2, d, xo s)
+  | Ucomis (p, d, s) -> Ucomis (p, d, xo s)
+  | Cvtsi2sd (x, w, s) -> Cvtsi2sd (x, w, op s)
+  | Cvttsd2si (r, w, s) -> Cvttsd2si (r, w, xo s)
+  | Cvtsd2ss (x, s) -> Cvtsd2ss (x, xo s)
+  | Cvtss2sd (x, s) -> Cvtss2sd (x, xo s)
+  | Unpcklpd (x, s) -> Unpcklpd (x, xo s)
+  | Shufpd (x, s, im) -> Shufpd (x, xo s, im)
+  | Padd (w, x, s) -> Padd (w, x, xo s)
+  | Movabs _ | Cqo | Cdq | Leave | Call _ | Ret | Jmp _ | Jcc _
+  | MovqXR _ | MovqRX _ | Nop _ | Ud2 | Int3 -> i
 
 (** Assembly item: generated code interleaves labels and instructions;
     [Encode.assemble] resolves [Lbl] targets against [L] positions. *)

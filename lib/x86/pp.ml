@@ -23,6 +23,7 @@ let mem_addr (m : mem_addr) =
   Buffer.add_char buf '[';
   let first = ref true in
   let plus () = if !first then first := false else Buffer.add_string buf " + " in
+  if m.rip then begin plus (); Buffer.add_string buf "rip" end;
   (match m.base with
    | Some b -> plus (); Buffer.add_string buf (Reg.name64 b)
    | None -> ());

@@ -1,0 +1,99 @@
+(* Telemetry layer: sink behaviour, the enabled gate, counters,
+   histograms and the two exporters. *)
+
+module Tel = Obrew_telemetry.Telemetry
+
+let check = Alcotest.check
+let cint = Alcotest.int
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* each test starts from a clean, enabled sink *)
+let with_tel ?capacity f =
+  Tel.reset ();
+  Tel.enable ?capacity ();
+  Fun.protect ~finally:Tel.disable f
+
+let test_disabled_records_nothing () =
+  Tel.reset ();
+  Tel.disable ();
+  Tel.span "s" (fun () -> ()) |> ignore;
+  Tel.instant "i";
+  check cint "no events" 0 (Tel.events_recorded ())
+
+let test_span_records () =
+  with_tel (fun () ->
+      let r = Tel.span "work" ~args:"x" (fun () -> 41 + 1) in
+      check cint "return value" 42 r;
+      check cint "one event" 1 (Tel.events_recorded ()))
+
+let test_span_reraises () =
+  with_tel (fun () ->
+      (match Tel.span "boom" (fun () -> failwith "no") with
+       | exception Failure _ -> ()
+       | _ -> Alcotest.fail "expected the exception to propagate");
+      check cint "event still recorded" 1 (Tel.events_recorded ()))
+
+let test_ring_wraps () =
+  with_tel ~capacity:8 (fun () ->
+      for _ = 1 to 20 do Tel.instant "tick" done;
+      check cint "recorded" 20 (Tel.events_recorded ());
+      check cint "dropped" 12 (Tel.dropped ());
+      (* oldest-first iteration sees only the retained tail *)
+      let n = ref 0 in
+      Tel.iter_events (fun ~name:_ ~kind:_ ~ts:_ ~dur:_ ~args:_ -> incr n);
+      check cint "retained" 8 !n)
+
+let test_counters () =
+  with_tel (fun () ->
+      let c = Tel.counter "test.c" in
+      Tel.incr_c c;
+      Tel.add_c c 4;
+      (* registration is find-or-create: same name, same cell *)
+      let c' = Tel.counter "test.c" in
+      Tel.incr_c c';
+      Alcotest.(check bool) "same cell" true (c == c');
+      check cint "count" 6 c.Tel.n)
+
+let test_histogram_buckets () =
+  with_tel (fun () ->
+      let h = Tel.histogram "test.h" in
+      List.iter (Tel.observe h) [ 0; 1; 2; 3; 4; 1000 ];
+      check cint "count" 6 h.Tel.hcount;
+      check cint "sum" 1010 h.Tel.hsum)
+
+let test_exports_parse () =
+  with_tel (fun () ->
+      ignore (Tel.span "a" ~args:"with \"quotes\" and \\slash" (fun () -> ()));
+      Tel.instant "b";
+      Tel.incr_c (Tel.counter "c");
+      Tel.observe (Tel.histogram "h") 7;
+      (* both exporters must emit well-formed output even with args
+         that need escaping *)
+      let trace = Tel.export_chrome_trace () in
+      let metrics = Tel.export_metrics () in
+      Alcotest.(check bool) "trace mentions span" true
+        (contains trace "\"ph\":\"X\"");
+      Alcotest.(check bool) "trace escapes args" true
+        (contains trace "\\\"quotes\\\"");
+      Alcotest.(check bool) "metrics schema" true
+        (contains metrics "\"schema_version\"");
+      Alcotest.(check bool) "metrics histogram" true
+        (contains metrics "\"h\""))
+
+let () =
+  Alcotest.run "telemetry"
+    [ ("sink",
+       [ Alcotest.test_case "disabled is silent" `Quick
+           test_disabled_records_nothing;
+         Alcotest.test_case "span records" `Quick test_span_records;
+         Alcotest.test_case "span re-raises" `Quick test_span_reraises;
+         Alcotest.test_case "ring wraps" `Quick test_ring_wraps ]);
+      ("metrics",
+       [ Alcotest.test_case "counters" `Quick test_counters;
+         Alcotest.test_case "histograms" `Quick test_histogram_buckets;
+         Alcotest.test_case "exports parse" `Quick test_exports_parse ])
+    ]

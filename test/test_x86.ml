@@ -170,8 +170,14 @@ let gen_mem =
   let* disp = oneof [ return 0; int_range (-128) 127;
                       int_range (-100000) 100000 ] in
   let* seg = opt (oneofl [ FS; GS ]) in
-  (* index must not be rsp; absolute addressing ignores seg here *)
-  return { base; index; disp; seg = (if base = None && index = None then None else seg) }
+  let* rip = frequency [ (9, return false); (1, return true) ] in
+  (* index must not be rsp; absolute addressing ignores seg here;
+     rip-relative operands carry neither base, index nor segment *)
+  if rip then return (mem_rip disp)
+  else
+    return { base; index; disp;
+             seg = (if base = None && index = None then None else seg);
+             rip = false }
 
 let gen_width = QCheck2.Gen.oneofl [ W8; W16; W32; W64 ]
 let gen_widthi = QCheck2.Gen.oneofl [ W16; W32; W64 ]

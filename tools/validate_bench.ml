@@ -1,0 +1,287 @@
+(* Schema validator for the machine-readable benchmark exports.
+
+     validate_bench BENCH_fig9a.json [BENCH_fig9b.json ...]
+     validate_bench --trace trace.json
+
+   Checks BENCH_*.json files (written by `bench --json`) and
+   chrome://tracing files (written by `--trace`) against the shapes CI
+   depends on, so a schema drift fails the pipeline instead of silently
+   producing unreadable artifacts.  Uses a small recursive-descent JSON
+   parser to stay dependency-free. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %c at offset %d, found %c" c !pos c'
+    | None -> fail "expected %c at offset %d, found end of input" c !pos
+  in
+  let parse_lit lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "bad literal at offset %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string at offset %d" !pos
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char b '"'
+         | Some '\\' -> Buffer.add_char b '\\'
+         | Some '/' -> Buffer.add_char b '/'
+         | Some 'b' -> Buffer.add_char b '\b'
+         | Some 'f' -> Buffer.add_char b '\012'
+         | Some 'n' -> Buffer.add_char b '\n'
+         | Some 'r' -> Buffer.add_char b '\r'
+         | Some 't' -> Buffer.add_char b '\t'
+         | Some 'u' ->
+           (* validation never inspects non-ASCII content; a
+              placeholder keeps the parser total *)
+           if !pos + 4 >= n then fail "truncated \\u escape";
+           pos := !pos + 4;
+           Buffer.add_char b '?'
+         | _ -> fail "bad escape at offset %d" !pos);
+        advance ();
+        go ())
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    let slice = String.sub s start (!pos - start) in
+    match float_of_string_opt slice with
+    | Some f -> Num f
+    | None -> fail "bad number %S at offset %d" slice start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Obj [] end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected , or } at offset %d" !pos
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Arr [] end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elems (v :: acc)
+          | Some ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] at offset %d" !pos
+        in
+        elems []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> parse_lit "true" (Bool true)
+    | Some 'f' -> parse_lit "false" (Bool false)
+    | Some 'n' -> parse_lit "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage at offset %d" !pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let field ctx o k =
+  match o with
+  | Obj kvs -> (
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> fail "%s: missing field %S" ctx k)
+  | _ -> fail "%s: expected an object" ctx
+
+let as_num ctx = function
+  | Num f -> f
+  | _ -> fail "%s: expected a number" ctx
+
+let as_int ctx v =
+  let f = as_num ctx v in
+  if Float.is_integer f then int_of_float f
+  else fail "%s: expected an integer, got %g" ctx f
+
+let as_str ctx = function
+  | Str s -> s
+  | _ -> fail "%s: expected a string" ctx
+
+let as_obj ctx = function
+  | Obj kvs -> kvs
+  | _ -> fail "%s: expected an object" ctx
+
+let as_arr ctx = function
+  | Arr l -> l
+  | _ -> fail "%s: expected an array" ctx
+
+(* ------------------------------------------------------------------ *)
+(* Schemas                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_counts ctx v =
+  List.iter
+    (fun (k, n) ->
+      if as_int (ctx ^ "." ^ k) n < 0 then fail "%s.%s: negative" ctx k)
+    (as_obj ctx v)
+
+let check_bench path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let section = as_str (ctx ^ ".section") (field ctx j "section") in
+  if not (String.length section > 3 && String.sub section 0 3 = "fig") then
+    fail "%s: bad section %S" ctx section;
+  if as_int (ctx ^ ".sz") (field ctx j "sz") < 3 then fail "%s: sz < 3" ctx;
+  if as_int (ctx ^ ".iters") (field ctx j "iters") < 1 then
+    fail "%s: iters < 1" ctx;
+  let rows = as_obj (ctx ^ ".rows") (field ctx j "rows") in
+  if rows = [] then fail "%s: rows is empty" ctx;
+  List.iter
+    (fun (name, row) ->
+      let rctx = Printf.sprintf "%s.rows[%s]" ctx name in
+      ignore (as_str (rctx ^ ".kind") (field rctx row "kind"));
+      ignore (as_str (rctx ^ ".mode") (field rctx row "mode"));
+      if as_int (rctx ^ ".cycles") (field rctx row "cycles") <= 0 then
+        fail "%s: cycles <= 0" rctx;
+      if as_int (rctx ^ ".insns") (field rctx row "insns") <= 0 then
+        fail "%s: insns <= 0" rctx;
+      if as_int (rctx ^ ".wall_ns") (field rctx row "wall_ns") < 0 then
+        fail "%s: wall_ns < 0" rctx;
+      ignore (as_num (rctx ^ ".wall_s") (field rctx row "wall_s")))
+    rows;
+  if as_num (ctx ^ ".emulated_mips") (field ctx j "emulated_mips") < 0.0 then
+    fail "%s: emulated_mips < 0" ctx;
+  let hr =
+    as_num (ctx ^ ".superblock_hit_rate") (field ctx j "superblock_hit_rate")
+  in
+  if hr < 0.0 || hr > 1.0 then
+    fail "%s: superblock_hit_rate %g out of [0,1]" ctx hr;
+  check_counts (ctx ^ ".superblocks") (field ctx j "superblocks");
+  check_counts (ctx ^ ".transform_memo") (field ctx j "transform_memo");
+  check_counts (ctx ^ ".dbrew_memo") (field ctx j "dbrew_memo");
+  Printf.printf "%s: OK (%d rows)\n" ctx (List.length rows)
+
+let check_trace path (j : json) =
+  let ctx = Filename.basename path in
+  let evs = as_arr (ctx ^ ".traceEvents") (field ctx j "traceEvents") in
+  if evs = [] then fail "%s: traceEvents is empty" ctx;
+  List.iteri
+    (fun i e ->
+      let ectx = Printf.sprintf "%s.traceEvents[%d]" ctx i in
+      let name = as_str (ectx ^ ".name") (field ectx e "name") in
+      if name = "" then fail "%s: empty name" ectx;
+      let ph = as_str (ectx ^ ".ph") (field ectx e "ph") in
+      (match ph with
+       | "X" ->
+         if as_num (ectx ^ ".dur") (field ectx e "dur") < 0.0 then
+           fail "%s: negative dur" ectx
+       | "i" -> ()
+       | _ -> fail "%s: unexpected phase %S" ectx ph);
+      if as_num (ectx ^ ".ts") (field ectx e "ts") < 0.0 then
+        fail "%s: negative ts" ectx)
+    evs;
+  let dropped =
+    as_int (ctx ^ ".otherData.dropped_events")
+      (field ctx (field ctx j "otherData") "dropped_events")
+  in
+  Printf.printf "%s: OK (%d events, %d dropped)\n" ctx (List.length evs)
+    dropped
+
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline
+      "usage: validate_bench [--trace FILE | BENCH_*.json] ...";
+    exit 2
+  end;
+  let failed = ref false in
+  let rec go = function
+    | [] -> ()
+    | "--trace" :: f :: tl ->
+      (try check_trace f (parse (read_file f)) with
+       | Bad m -> Printf.eprintf "FAIL %s\n" m; failed := true
+       | Sys_error m -> Printf.eprintf "FAIL %s\n" m; failed := true);
+      go tl
+    | "--trace" :: [] ->
+      prerr_endline "--trace needs a file argument";
+      exit 2
+    | f :: tl ->
+      (try check_bench f (parse (read_file f)) with
+       | Bad m -> Printf.eprintf "FAIL %s\n" m; failed := true
+       | Sys_error m -> Printf.eprintf "FAIL %s\n" m; failed := true);
+      go tl
+  in
+  go args;
+  if !failed then exit 1
