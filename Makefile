@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick trace fuzz-smoke examples ci clean
+.PHONY: all build test bench bench-quick trace profile fuzz-smoke examples ci clean
 
 all: build
 
@@ -10,18 +10,26 @@ build:
 test:
 	dune runtest
 
-# Writes BENCH_fig9a.json / BENCH_fig9b.json (and friends) at the repo
-# root — the machine-readable perf trajectory.
+# Writes BENCH_fig9a.json / BENCH_fig9b.json (and friends) under
+# _bench/ — the machine-readable perf trajectory.  Compare two runs
+# with `validate_bench compare`.
 bench:
-	dune exec bench/main.exe -- --json .
+	dune exec bench/main.exe -- --json
 
 bench-quick:
-	dune exec bench/main.exe -- --quick --json .
+	dune exec bench/main.exe -- --quick --json
 
 # Chrome-trace of the full pipeline on the Jacobi case study: load
 # trace.json at chrome://tracing or ui.perfetto.dev.
 trace:
 	dune exec bin/obrew_cli.exe -- stencil --trace trace.json --metrics
+
+# Cycle-attribution profile + optimizer remarks of the Jacobi case
+# study (provenance layer): human table on stdout, JSON artifacts in
+# profile.json / remarks.json.
+profile:
+	dune exec bin/obrew_cli.exe -- stencil --profile \
+	  --profile-out profile.json --remarks remarks.json
 
 # Fixed-seed fault-injection smoke: ~500 random injection plans against
 # the fail-safe pipeline (see test/test_fault.ml).

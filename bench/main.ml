@@ -28,8 +28,20 @@ module Tel = Obrew_telemetry.Telemetry
 let sz = ref 49
 let iters = ref 6
 let only = ref []
-let json_dir = ref None
+let write_json_files = ref false
 let trace_file = ref None
+
+(* every artifact the harness writes (BENCH_*.json, trace files) lands
+   under this one directory, so a bench run never litters the CWD *)
+let out_dir = ref "_bench"
+
+let ensure_out_dir () =
+  try Unix.mkdir !out_dir 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+(* relative artifact paths are taken relative to --out *)
+let in_out f =
+  if Filename.is_relative f then Filename.concat !out_dir f else f
 
 let () =
   let rec parse = function
@@ -37,7 +49,8 @@ let () =
     | "--iters" :: n :: tl -> iters := int_of_string n; parse tl
     | "--only" :: s :: tl -> only := s :: !only; parse tl
     | "--quick" :: tl -> sz := 25; iters := 3; parse tl
-    | "--json" :: d :: tl -> json_dir := Some d; parse tl
+    | "--json" :: tl -> write_json_files := true; parse tl
+    | "--out" :: d :: tl -> out_dir := d; parse tl
     | "--trace" :: f :: tl -> trace_file := Some f; parse tl
     | [] -> ()
     | a :: _ -> Printf.eprintf "unknown argument %s\n" a; exit 2
@@ -62,16 +75,17 @@ let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
 (* write machine-readable per-section results as BENCH_<section>.json
-   under the --json directory, so the perf trajectory is comparable
-   across PRs without scraping the human tables *)
+   under the --out directory when --json is given, so the perf
+   trajectory is comparable across PRs without scraping the human
+   tables *)
 let write_json section (fields : string list) =
-  match !json_dir with
-  | None -> ()
-  | Some dir -> (
-    let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" section) in
+  if not !write_json_files then ()
+  else begin
+    let path =
+      Filename.concat !out_dir (Printf.sprintf "BENCH_%s.json" section)
+    in
     try
-      (try Unix.mkdir dir 0o755
-       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      ensure_out_dir ();
       let oc = open_out path in
       output_string oc ("{\n  " ^ String.concat ",\n  " fields ^ "\n}\n");
       close_out oc;
@@ -80,7 +94,8 @@ let write_json section (fields : string list) =
     | Sys_error m -> Printf.eprintf "warning: cannot write %s: %s\n" path m
     | Unix.Unix_error (e, _, arg) ->
       Printf.eprintf "warning: cannot write %s: %s: %s\n" path
-        (Unix.error_message e) arg)
+        (Unix.error_message e) arg
+  end
 
 (* bump when the shape of the BENCH_*.json files changes; consumers
    (CI's validator, trajectory tooling) key on this *)
@@ -430,6 +445,8 @@ let () =
   (match !trace_file with
    | None -> ()
    | Some f ->
+     let f = in_out f in
+     ensure_out_dir ();
      Tel.write_file f (Tel.export_chrome_trace ());
      Printf.printf "[trace: %d events written to %s (%d dropped)]\n"
        (Tel.events_recorded ()) f (Tel.dropped ()));

@@ -76,7 +76,56 @@ let metrics_arg =
          ~doc:"Record pipeline telemetry and print aggregated metrics \
                JSON to stdout (or write to FILE if given).")
 
+let profile_arg =
+  Arg.(value & opt ~vopt:(Some 20) (some int) None
+       & info [ "profile" ] ~docv:"N"
+         ~doc:"Attribute simulated cycles to guest addresses and print \
+               the N hottest ones (default 20) with their cycle shares.")
+
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+         ~doc:"Write the cycle profile as JSON to FILE.")
+
+let remarks_arg =
+  Arg.(value & opt ~vopt:(Some "-") (some string) None
+       & info [ "remarks" ] ~docv:"FILE"
+         ~doc:"Record optimizer remarks (what each pass deleted, merged, \
+               hoisted, unrolled or specialized, with guest addresses) \
+               and print them as JSON to stdout (or write to FILE).")
+
+let annotate_arg =
+  Arg.(value & opt (some string) None
+       & info [ "annotate" ] ~docv:"FN"
+         ~doc:"Print the annotated disassembly of installed function FN: \
+               each guest instruction with its surviving IR, optimizer \
+               remarks and emitted host bytes.")
+
 module Tel = Obrew_telemetry.Telemetry
+module Prov = Obrew_provenance.Provenance
+
+let provenance_setup profile profile_out annotate remarks =
+  if profile <> None || profile_out <> None || annotate <> None
+     || remarks <> None
+  then Prov.enable ()
+
+let provenance_finish profile profile_out remarks =
+  (match profile with
+   | None -> ()
+   | Some top -> print_string (Prov.format_profile ~top ()));
+  (match profile_out with
+   | None -> ()
+   | Some f ->
+     let top = Option.value ~default:20 profile in
+     Prov.write_file f (Prov.export_profile ~top ());
+     Printf.eprintf "profile written to %s\n" f);
+  match remarks with
+  | None -> ()
+  | Some "-" -> print_string (Prov.export_remarks ())
+  | Some f ->
+    Prov.write_file f (Prov.export_remarks ());
+    Printf.eprintf "%d remarks written to %s\n"
+      (Prov.remarks_recorded ()) f
 
 let telemetry_setup trace metrics =
   if trace <> None || metrics <> None then Tel.enable ()
@@ -126,9 +175,10 @@ let print_stats (env : Modes.env) =
 
 let stencil_cmd =
   let run sz iters kind style tr dump stats fallback max_insns fault trace
-      metrics =
+      metrics profile profile_out annotate remarks =
     install_fault_plan fault;
     telemetry_setup trace metrics;
+    provenance_setup profile profile_out annotate remarks;
     let env = Modes.build ~sz () in
     (try
        let kernel, used, dt =
@@ -154,18 +204,26 @@ let stencil_cmd =
        if dump then
          print_endline
            (Obrew_x86.Pp.listing
-              (Obrew_x86.Image.disassemble_fn env.Modes.img kernel))
+              (Obrew_x86.Image.disassemble_fn env.Modes.img kernel));
+       match annotate with
+       | None -> ()
+       | Some fn ->
+         print_string
+           (Annotate.annotate ~img:env.Modes.img ?modul:env.Modes.last_ir
+              ~fn ())
      with Err.Error e ->
        Printf.eprintf "transformation failed: %s\n" (Err.to_string e);
        telemetry_finish trace metrics;
        exit 1);
+    provenance_finish profile profile_out remarks;
     telemetry_finish trace metrics
   in
   Cmd.v
     (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
     Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
           $ transform_arg $ dump_arg $ stats_arg $ fallback_arg
-          $ max_insns_arg $ fault_arg $ trace_arg $ metrics_arg)
+          $ max_insns_arg $ fault_arg $ trace_arg $ metrics_arg
+          $ profile_arg $ profile_out_arg $ annotate_arg $ remarks_arg)
 
 let modes_cmd =
   let run sz iters style stats fault trace metrics =
@@ -203,10 +261,17 @@ let modes_cmd =
     Term.(const run $ sz_arg $ iters_arg $ style_arg $ stats_arg
           $ fault_arg $ trace_arg $ metrics_arg)
 
+let fig6_annotate_arg =
+  Arg.(value & flag & info [ "annotate" ]
+       ~doc:"Also JIT-install the flag-cache version and print its \
+             annotated disassembly (guest insns, surviving IR, remarks, \
+             host bytes).")
+
 let fig6_cmd =
-  let run () =
+  let run annotate =
     let open Obrew_x86 in
     let open Insn in
+    if annotate then Prov.enable ();
     let code =
       [ I (Mov (W64, OReg Reg.RAX, OReg Reg.RDI));
         I (Alu (Cmp, W64, OReg Reg.RDI, OReg Reg.RSI));
@@ -215,6 +280,7 @@ let fig6_cmd =
     in
     List.iter
       (fun flag_cache ->
+        Prov.reset ();
         let img = Image.create () in
         let fn = Image.install_code img code in
         let f =
@@ -224,13 +290,19 @@ let fig6_cmd =
             ~entry:fn ~name:"max"
             { Obrew_ir.Ins.args = [ I64; I64 ]; ret = Some I64 }
         in
-        Obrew_opt.Pipeline.run { Obrew_ir.Ins.funcs = [ f ]; globals = [] };
+        let m = { Obrew_ir.Ins.funcs = [ f ]; globals = [] } in
+        Obrew_opt.Pipeline.run m;
         Printf.printf "\n=== flag cache: %b ===\n%s" flag_cache
-          (Obrew_ir.Pp_ir.func f))
+          (Obrew_ir.Pp_ir.func f);
+        if annotate && flag_cache then begin
+          ignore (Obrew_backend.Jit.install_func img f);
+          print_newline ();
+          print_string (Annotate.annotate ~img ~modul:m ~fn:"max" ())
+        end)
       [ false; true ]
   in
   Cmd.v (Cmd.info "fig6" ~doc:"The flag cache effect (Fig. 6).")
-    Term.(const run $ const ())
+    Term.(const run $ fig6_annotate_arg)
 
 let passes_cmd =
   let run sz =

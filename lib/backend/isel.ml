@@ -78,6 +78,10 @@ type ctx = {
   global_addr : string -> int;
   func_addr : string -> int;
   mutable out : Insn.item list; (* reversed *)
+  mutable provs : int list; (* reversed, parallel to [out]: provenance of
+                               the IR instruction each item was emitted
+                               for (0 for labels, moves, pro/epilogue) *)
+  mutable cur_prov : int;
   mutable next_label : int;
   alloca_off : (int, int) Hashtbl.t; (* alloca value id -> frame offset *)
   alloca_size : int;
@@ -86,8 +90,13 @@ type ctx = {
   addr_only : (int, unit) Hashtbl.t; (* geps folded away entirely *)
 }
 
-let emit ctx i = ctx.out <- Insn.I i :: ctx.out
-let label ctx l = ctx.out <- Insn.L l :: ctx.out
+let emit ctx i =
+  ctx.out <- Insn.I i :: ctx.out;
+  ctx.provs <- ctx.cur_prov :: ctx.provs
+
+let label ctx l =
+  ctx.out <- Insn.L l :: ctx.out;
+  ctx.provs <- 0 :: ctx.provs
 
 let fresh_label ctx =
   let l = ctx.next_label in
@@ -1333,7 +1342,7 @@ let collect_addr_only (f : func) : (int, unit) Hashtbl.t =
     extra labels start above them). *)
 let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
     ?(func_addr = fun n -> err "unresolved function @%s" n) (f : func) :
-    Insn.item list =
+    Insn.item list * int array =
   Obrew_fault.Fault.point "backend.isel";
   split_critical_edges f;
   Cfg.prune_unreachable f;
@@ -1362,7 +1371,8 @@ let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
   let max_bid = List.fold_left (fun m (b : block) -> max m b.bid) 0 f.blocks in
   let ctx =
     { f; al; tenv = Obrew_opt.Util.type_env f; defs = Obrew_opt.Util.def_table f;
-      global_addr; func_addr; out = []; next_label = max_bid + 2;
+      global_addr; func_addr; out = []; provs = []; cur_prov = 0;
+      next_label = max_bid + 2;
       alloca_off; alloca_size; frame_total;
       use_counts = Obrew_opt.Util.use_counts f;
       addr_only = collect_addr_only f }
@@ -1416,11 +1426,17 @@ let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
         (fun i ->
           match fused with
           | Some fi when fi.id = i.id -> ()
-          | _ -> emit_instr ctx i)
+          | _ ->
+            ctx.cur_prov <- i.prov;
+            emit_instr ctx i)
         blk.instrs;
+      ctx.cur_prov <- 0;
       (match Hashtbl.find_opt tail_moves bid with
        | Some ms -> parallel_moves ctx ms
        | None -> ());
+      (* a fused compare's host bytes are part of the branch sequence:
+         attribute them to the compare's guest instruction *)
+      ctx.cur_prov <- (match fused with Some fi -> fi.prov | None -> 0);
       (match blk.term with
        | Br t -> if next <> Some t then emit ctx (Insn.Jmp (Insn.Lbl t))
        | CondBr (c, t, e) ->
@@ -1443,8 +1459,10 @@ let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
           | `OrP ->
             emit ctx (Insn.Jcc (Insn.P, Insn.Lbl t));
             emit ctx (Insn.Jcc (cc, Insn.Lbl t)));
-         if next <> Some e then emit ctx (Insn.Jmp (Insn.Lbl e))
+         if next <> Some e then emit ctx (Insn.Jmp (Insn.Lbl e));
+         ctx.cur_prov <- 0
        | Ret v ->
+         ctx.cur_prov <- 0;
          (match v, f.sg.ret with
           | Some v, Some t -> (
             match class_of_ty t with
@@ -1467,9 +1485,16 @@ let emit_func_impl ?(global_addr = fun g -> err "unresolved global @%s" g)
   List.iter (fun r -> emit ctx (Insn.Pop (Insn.OReg r)))
     (List.rev al.used_callee_saved);
   emit ctx Insn.Ret;
-  List.rev ctx.out
+  (List.rev ctx.out, Array.of_list (List.rev ctx.provs))
+
+(** Emit a complete function together with the per-item provenance ids
+    (parallel arrays; labels and synthetic moves map to prov 0), as a
+    [backend.isel] telemetry span. *)
+let emit_func_with_prov ?global_addr ?func_addr (f : func) :
+    Insn.item list * int array =
+  Obrew_telemetry.Telemetry.span "backend.isel" ~args:f.fname (fun () ->
+      emit_func_impl ?global_addr ?func_addr f)
 
 (** Emit a complete function, as a [backend.isel] telemetry span. *)
 let emit_func ?global_addr ?func_addr (f : func) : Insn.item list =
-  Obrew_telemetry.Telemetry.span "backend.isel" ~args:f.fname (fun () ->
-      emit_func_impl ?global_addr ?func_addr f)
+  fst (emit_func_with_prov ?global_addr ?func_addr f)

@@ -21,11 +21,39 @@ let install_global (img : Image.t) (g : global) : int =
     growing the code region and invalidating caches. *)
 let install_func (img : Image.t) (f : func) : int =
   Obrew_telemetry.Telemetry.span "jit.emit" ~args:f.fname (fun () ->
-      let items =
-        Isel.emit_func ~global_addr:(Image.lookup img)
+      let items, provs =
+        Isel.emit_func_with_prov ~global_addr:(Image.lookup img)
           ~func_addr:(Image.lookup img) f
       in
-      Image.install_code ~name:f.fname ~dedup:true img items)
+      let addr = Image.install_code ~name:f.fname ~dedup:true img items in
+      let module Prov = Obrew_provenance.Provenance in
+      if !Prov.enabled && not (Obrew_fault.Fault.active ()) then begin
+        (* re-assemble at the final address to learn each item's host
+           byte range; assembly is deterministic so a dedup hit maps to
+           the same bytes *)
+        let bytes, listing, _ = Encode.assemble ~base:addr items in
+        let code_end = addr + String.length bytes in
+        (* [listing] covers [I] items only, in order; walk [items] and
+           [provs] in lockstep to pair each listed insn with its prov *)
+        let ranges = ref [] in
+        let rest = ref listing in
+        Array.iteri
+          (fun k item ->
+            match (item : Insn.item) with
+            | Insn.L _ -> ()
+            | Insn.I _ -> (
+              match !rest with
+              | (a, _) :: tl ->
+                let len =
+                  (match tl with (a', _) :: _ -> a' | [] -> code_end) - a
+                in
+                ranges := (a, len, provs.(k)) :: !ranges;
+                rest := tl
+              | [] -> ()))
+          (Array.of_list items);
+        Prov.set_host_map ~fn:f.fname (List.rev !ranges)
+      end;
+      addr)
 
 (** Install all globals, then all functions in order (callees must
     precede callers in [m.funcs]). *)

@@ -1,0 +1,142 @@
+(** Annotated disassembly — the paper's Fig. 5/6/8 presentation,
+    mechanized: for one rewritten function, every guest instruction is
+    printed together with the IR that survived optimization for it,
+    the optimizer remarks recorded against it, and the host bytes that
+    were finally emitted from it.  All three attributions come from
+    the provenance ids stamped at lift time
+    ({!Obrew_provenance.Provenance}). *)
+
+open Obrew_x86
+open Obrew_ir
+module Prov = Obrew_provenance.Provenance
+
+let hex_bytes read a len =
+  String.concat " "
+    (List.init (min len 16) (fun i -> Printf.sprintf "%02x" (read (a + i))))
+
+(* The IR function the annotation is about: the one named [fn] if the
+   module has it, otherwise the module's single function (the stencil
+   modes name the lifted function "jit" but install under the kernel
+   name). *)
+let ir_func (modul : Ins.modul option) fn : Ins.func option =
+  match modul with
+  | None -> None
+  | Some m -> (
+    match List.find_opt (fun (f : Ins.func) -> f.fname = fn) m.funcs with
+    | Some f -> Some f
+    | None -> ( match m.funcs with [ f ] -> Some f | _ -> None))
+
+(** Render the annotated disassembly of [fn]: one section per guest
+    address that contributed surviving IR, a remark, or emitted host
+    code, in ascending address order.  [modul] supplies the optimized
+    IR (e.g. [Modes.env.last_ir]); the host byte ranges come from the
+    provenance host map recorded at JIT installation. *)
+let annotate ~(img : Image.t) ?modul ~fn () : string =
+  let buf = Buffer.create 4096 in
+  let read = Mem.read_u8 img.Image.cpu.Cpu.mem in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let f = ir_func modul fn in
+  (* group surviving IR instructions by guest address *)
+  let ir_at : (int, (int * Ins.instr) list) Hashtbl.t = Hashtbl.create 64 in
+  (match f with
+   | None -> ()
+   | Some f ->
+     List.iter
+       (fun (b : Ins.block) ->
+         List.iter
+           (fun (i : Ins.instr) ->
+             if Prov.is_some i.prov then begin
+               let a = Prov.addr i.prov in
+               let cur = Option.value ~default:[] (Hashtbl.find_opt ir_at a) in
+               Hashtbl.replace ir_at a (cur @ [ (b.bid, i) ])
+             end)
+           b.instrs)
+       f.blocks);
+  (* group remarks by guest address *)
+  let rmk_at : (int, Prov.remark list) Hashtbl.t = Hashtbl.create 64 in
+  Prov.iter_remarks (fun r ->
+      if Prov.is_some r.Prov.prov then begin
+        let a = Prov.addr r.Prov.prov in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt rmk_at a) in
+        Hashtbl.replace rmk_at a (cur @ [ r ])
+      end);
+  (* group emitted host ranges by guest address *)
+  let host = Option.value ~default:[||] (Prov.host_map fn) in
+  let host_at : (int, (int * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let glue_bytes = ref 0 in
+  Array.iter
+    (fun (lo, len, p) ->
+      if Prov.is_some p then begin
+        let a = Prov.addr p in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt host_at a) in
+        Hashtbl.replace host_at a (cur @ [ (lo, len) ])
+      end
+      else glue_bytes := !glue_bytes + len)
+    host;
+  (* every guest address any of the three sides mention *)
+  let addrs = Hashtbl.create 64 in
+  Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) ir_at;
+  Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) rmk_at;
+  Hashtbl.iter (fun a _ -> Hashtbl.replace addrs a ()) host_at;
+  let addrs =
+    List.sort compare (Hashtbl.fold (fun a () acc -> a :: acc) addrs [])
+  in
+  add "== annotated disassembly: %s ==\n" fn;
+  List.iter
+    (fun a ->
+      (match Decode.decode ~read a with
+       | i, len ->
+         add "\n0x%x: %-24s %s\n" a (hex_bytes read a len) (Pp.insn i)
+       | exception _ -> add "\n0x%x: <not decodable>\n" a);
+      (match Hashtbl.find_opt ir_at a with
+       | None -> add "  ir   | (no surviving IR)\n"
+       | Some is ->
+         List.iter
+           (fun (bid, i) -> add "  ir   | bb%d: %s\n" bid (Pp_ir.instr i))
+           is);
+      (match Hashtbl.find_opt rmk_at a with
+       | None -> ()
+       | Some rs ->
+         (* collapse identical remarks (fixpoint passes re-record) *)
+         let seen : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+         let order = ref [] in
+         List.iter
+           (fun (r : Prov.remark) ->
+             let line =
+               Printf.sprintf "[%s/%s] %s" r.Prov.pass
+                 (Prov.action_name r.Prov.action)
+                 r.Prov.detail
+             in
+             match Hashtbl.find_opt seen line with
+             | Some n -> incr n
+             | None ->
+               Hashtbl.add seen line (ref 1);
+               order := line :: !order)
+           rs;
+         List.iter
+           (fun line ->
+             match !(Hashtbl.find seen line) with
+             | 1 -> add "  rmk  | %s\n" line
+             | n -> add "  rmk  | %s (x%d)\n" line n)
+           (List.rev !order));
+      match Hashtbl.find_opt host_at a with
+      | None -> ()
+      | Some hs ->
+        List.iter
+          (fun (lo, len) ->
+            let txt =
+              match Decode.decode ~read lo with
+              | i, _ -> Pp.insn i
+              | exception _ -> "?"
+            in
+            add "  host | 0x%x: %-24s %s\n" lo (hex_bytes read lo len) txt)
+          hs)
+    addrs;
+  if !glue_bytes > 0 then
+    add "\n(%d host bytes of prologue/epilogue/glue not attributed to \
+         guest code)\n"
+      !glue_bytes;
+  if addrs = [] then
+    Buffer.add_string buf
+      "(nothing to annotate: enable provenance before transforming)\n";
+  Buffer.contents buf

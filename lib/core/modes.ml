@@ -44,6 +44,9 @@ type env = {
   mutable memo_misses : int;
   mutable last_dropped : (string * Err.t) list;
   (* passes dropped by the last checked transform *)
+  mutable last_ir : Ins.modul option;
+  (* optimized module produced by the last lifting transform (Llvm,
+     LlvmFix, DBrewLlvm) — the IR side of annotated disassembly *)
 }
 
 let kernel_name kind style =
@@ -74,7 +77,7 @@ let build ?(sz = 65) ?groups () : env =
     m.funcs;
   ignore (Jit.install_module img m);
   { img; w; modul = m; memo = Hashtbl.create 32;
-    memo_hits = 0; memo_misses = 0; last_dropped = [] }
+    memo_hits = 0; memo_misses = 0; last_dropped = []; last_ir = None }
 
 let stencil_arg env = function
   | Direct | Flat -> env.w.s_flat
@@ -199,6 +202,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       let m = { Ins.funcs = [ f ]; globals = [] } in
       optimize m;
       Verify.assert_ok ~ctx:"llvm identity" f;
+      env.last_ir <- Some m;
       Jit.install_func env.img f
     | LlvmFix ->
       (* Sec. IV: copy the fixed memory region into the module as a
@@ -222,6 +226,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       let m = { Ins.funcs = [ f; wrapper ]; globals = [ g ] } in
       optimize m;
       Verify.assert_ok ~ctx:"llvm fixation" wrapper;
+      env.last_ir <- Some m;
       ignore (Jit.install_global env.img g);
       (* the callee is normally fully inlined, but lower optimization
          levels may keep the call *)
@@ -251,6 +256,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
         let m = { Ins.funcs = [ f ]; globals = [] } in
         optimize m;
         Verify.assert_ok ~ctx:"dbrew+llvm" f;
+        env.last_ir <- Some m;
         Jit.install_func env.img f))
   in
   (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());

@@ -34,6 +34,9 @@ type env = {
   mutable memo_misses : int;
   mutable last_dropped : (string * Obrew_fault.Err.t) list;
   (** optimizer passes dropped by the last [checked] transform *)
+  mutable last_ir : Obrew_ir.Ins.modul option;
+  (** optimized module produced by the last lifting transform (Llvm,
+      LlvmFix, DBrewLlvm) — consumed by {!Annotate} *)
 }
 
 (** Compile the benchmark program with the "static compiler" (minic at

@@ -788,8 +788,23 @@ and run_trace rw ts pc : unit =
     run_trace rw ts next
   | Lea (d, m) -> (
     match resolve_addr ts.st m with
-    | AbsKnown a ->
-      set ts.st d (Known (Int64.of_int a));
+    | AbsKnown _ ->
+      (* lea is plain arithmetic, not a memory access: recompute in
+         full 64-bit space (AbsKnown's int is 63-bit and wraps wrong
+         when a known operand has the top bits set) *)
+      let known r =
+        match get ts.st r with
+        | Known v -> v
+        | _ -> fail "lea: AbsKnown with unknown register"
+      in
+      let b = match m.base with None -> 0L | Some r -> known r in
+      let i =
+        match m.index with
+        | None -> 0L
+        | Some (r, sc) ->
+          Int64.mul (known r) (Int64.of_int (scale_factor sc))
+      in
+      set ts.st d (Known Int64.(add (add b i) (of_int m.disp)));
       run_trace rw ts next
     | StackOff o ->
       emit rw (Lea (d, fold_mem rw ts m));

@@ -5,6 +5,9 @@ open Ins
 type t = {
   func : func;
   mutable cur : block option;
+  mutable cur_prov : int;
+  (* provenance id stamped on inserted instructions; the lifter points
+     it at the guest instruction currently being lifted *)
 }
 
 (** Create a function with fresh parameter value ids 0..n-1 and an
@@ -16,9 +19,14 @@ let create ~name ~(sg : signature) : t =
     { fname = name; sg; params; blocks = [ entry ];
       next_id = List.length sg.args; always_inline = false }
   in
-  { func = f; cur = Some entry }
+  { func = f; cur = Some entry; cur_prov = 0 }
 
 let func b = b.func
+
+(** Provenance id attached to instructions inserted from now on. *)
+let set_prov b p = b.cur_prov <- p
+
+let cur_prov b = b.cur_prov
 
 let fresh_id b =
   let id = b.func.next_id in
@@ -45,7 +53,7 @@ let insert b ~ty op : value =
   | None -> invalid_arg "Builder: no current block"
   | Some bl ->
     let id = fresh_id b in
-    bl.instrs <- bl.instrs @ [ { id; ty; op } ];
+    bl.instrs <- bl.instrs @ [ { id; ty; op; prov = b.cur_prov } ];
     V id
 
 (** Insert a phi at the *front* of the given block (phis must precede
@@ -53,7 +61,9 @@ let insert b ~ty op : value =
 let insert_phi b bid ~ty incoming : value =
   let bl = find_block b.func bid in
   let id = fresh_id b in
-  bl.instrs <- { id; ty = Some ty; op = Phi (ty, incoming) } :: bl.instrs;
+  bl.instrs <-
+    { id; ty = Some ty; op = Phi (ty, incoming); prov = b.cur_prov }
+    :: bl.instrs;
   V id
 
 let set_term b term =

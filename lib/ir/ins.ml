@@ -108,6 +108,8 @@ type instr = {
   id : int;            (* the SSA value this instruction defines *)
   ty : ty option;      (* result type; None for store / void call *)
   op : op;
+  prov : int;          (* provenance id (guest addr + lift ordinal), see
+                          Obrew_provenance.Provenance; 0 = none *)
 }
 
 type terminator =

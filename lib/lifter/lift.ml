@@ -49,6 +49,7 @@ type raw_block = {
 }
 
 module Tel = Obrew_telemetry.Telemetry
+module Prov = Obrew_provenance.Provenance
 
 (* Resolve a RIP-relative memory operand to the absolute address it
    names: the decoder keeps the raw disp32 (relative to the end of the
@@ -542,6 +543,12 @@ let cond_value st (c : Insn.cc) : value =
   let cached p =
     match st.cur.cmp_cache with
     | Some (t, a, b) when st.cfg.flag_cache ->
+      if !Prov.enabled then
+        Prov.record ~pass:"lift" ~action:Prov.Specialized
+          ~prov:(Builder.cur_prov st.b)
+          ~detail:
+            "flag cache: condition reconstructed as icmp on the cached \
+             cmp operands";
       Some (Builder.icmp st.b p t a b)
     | _ -> None
   in
@@ -1234,12 +1241,25 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
         st.cur.gpr_ptr.(Reg.index iregs.(!ii)) <- None;
         incr ii)
     sg.args;
+  (* provenance: running guest-instruction ordinal at each raw block's
+     start, in lift order, so every IR instruction can be stamped with
+     a compact (guest addr, ordinal) id *)
+  let ord_base : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  ignore
+    (List.fold_left
+       (fun n rb ->
+         Hashtbl.replace ord_base rb.start n;
+         n + List.length rb.insns + 1 (* + terminator *))
+       0 raw);
+  let prov_of_bid : (int, int) Hashtbl.t = Hashtbl.create 16 in
   (* allocate an IR block per raw block (entry raw block gets its own,
      jumped to from the IR entry) *)
   List.iter
     (fun rb ->
       let bid = Builder.new_block b in
-      Hashtbl.replace st.block_of_addr rb.start bid)
+      Hashtbl.replace st.block_of_addr rb.start bid;
+      Hashtbl.replace prov_of_bid bid
+        (Prov.make ~addr:rb.start ~ord:(Hashtbl.find ord_base rb.start)))
     raw;
   let bid_of a =
     match Hashtbl.find_opt st.block_of_addr a with
@@ -1272,6 +1292,7 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
   List.iter
     (fun rb ->
       let bid = bid_of rb.start in
+      Builder.set_prov b (Hashtbl.find prov_of_bid bid);
       let phis = ref [] in
       let mk ty =
         match Builder.insert_phi b bid ~ty [] with
@@ -1314,9 +1335,20 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
       Fault.point ~addr:rb.start "lift.block";
       let bid = bid_of rb.start in
       Builder.position b bid;
+      (* block-start prov covers empty blocks' terminator lowering;
+         after the loop cur_prov is the last insn's, which is what the
+         [`Jcc] condition reconstruction should be attributed to (the
+         cmp/test normally ends the block) *)
+      Builder.set_prov b (Hashtbl.find prov_of_bid bid);
       let entry_st = Hashtbl.find st.final_states (-bid - 1000) in
       st.cur <- snapshot entry_st;
-      List.iter (fun (_, i) -> lift_insn st i) rb.insns;
+      let ord = ref (Hashtbl.find ord_base rb.start) in
+      List.iter
+        (fun (a, i) ->
+          Builder.set_prov b (Prov.make ~addr:a ~ord:!ord);
+          incr ord;
+          lift_insn st i)
+        rb.insns;
       (match rb.term with
        | `Jmp t -> Builder.br b (bid_of t)
        | `Fall t -> Builder.br b (bid_of t)
@@ -1366,7 +1398,10 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
             pending :=
               (pbid,
                { id; ty = Some (Ptr 0);
-                 op = Cast (IntToPtr, I64, ps.gpr.(r), Ptr 0) })
+                 op = Cast (IntToPtr, I64, ps.gpr.(r), Ptr 0);
+                 prov =
+                   Option.value ~default:Prov.none
+                     (Hashtbl.find_opt prov_of_bid pbid) })
               :: !pending;
             V id
         end

@@ -4,6 +4,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 let run (f : func) : bool =
   let live : (int, unit) Hashtbl.t = Hashtbl.create 64 in
@@ -43,7 +44,12 @@ let run (f : func) : bool =
       let n0 = List.length b.instrs in
       b.instrs <-
         List.filter
-          (fun i -> has_side_effect i.op || Hashtbl.mem live i.id)
+          (fun i ->
+            let keep = has_side_effect i.op || Hashtbl.mem live i.id in
+            if (not keep) && !Prov.enabled then
+              Prov.record ~pass:"dce" ~action:Prov.Deleted ~prov:i.prov
+                ~detail:(Printf.sprintf "dead value %%%d removed" i.id);
+            keep)
           b.instrs;
       if List.length b.instrs <> n0 then changed := true)
     f.blocks;

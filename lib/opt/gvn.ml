@@ -4,6 +4,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 (* normalize commutative operand order so syntactic equality finds
    more matches *)
@@ -58,6 +59,9 @@ let run (f : func) : bool =
             | Some v ->
               Hashtbl.replace subst i.id v;
               changed := true;
+              if !Prov.enabled then
+                Prov.record ~pass:"gvn" ~action:Prov.Merged ~prov:i.prov
+                  ~detail:"redundant load forwarded from earlier access";
               None
             | None ->
               Hashtbl.replace loads (p, t) (V i.id);
@@ -77,6 +81,9 @@ let run (f : func) : bool =
             | Some v ->
               Hashtbl.replace subst i.id v;
               changed := true;
+              if !Prov.enabled then
+                Prov.record ~pass:"gvn" ~action:Prov.Merged ~prov:i.prov
+                  ~detail:"common subexpression merged with dominating value";
               None
             | None ->
               Hashtbl.replace table key (V i.id);

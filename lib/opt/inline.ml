@@ -7,6 +7,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 let default_threshold = 220
 
@@ -61,7 +62,7 @@ let clone_into (caller : func) (callee : func) (args : value list) :
                   Phi (t, List.map (fun (p, v) -> (fblk p, rv v)) ins)
                 | op -> map_operands rv op
               in
-              { id = fid i.id; ty = i.ty; op })
+              { id = fid i.id; ty = i.ty; op; prov = i.prov })
             b.instrs
         in
         let term =
@@ -140,7 +141,7 @@ let inline_site (caller : func) (bid : int) (call_id : int)
            many
        in
        tail_blk.instrs <-
-         { id = pid; ty = Some t; op = Phi (t, incoming) }
+         { id = pid; ty = Some t; op = Phi (t, incoming); prov = call.prov }
          :: tail_blk.instrs;
        Hashtbl.replace subst call.id (V pid)));
   Util.apply_subst caller subst
@@ -198,6 +199,18 @@ let run ?(config = default_config) (m : modul) (f : func) : bool =
     decr budget;
     match find_site m config f with
     | Some (bid, call_id, callee, args) ->
+      if !Prov.enabled then begin
+        let call_prov =
+          match
+            List.find_opt (fun i -> i.id = call_id)
+              (find_block f bid).instrs
+          with
+          | Some i -> i.prov
+          | None -> Prov.none
+        in
+        Prov.record ~pass:"inline" ~action:Prov.Specialized ~prov:call_prov
+          ~detail:(Printf.sprintf "call inlined: %s" callee.fname)
+      end;
       inline_site f bid call_id callee args;
       changed := true
     | None -> continue_ := false

@@ -6,6 +6,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 type ctx = {
   dfn : int -> op option;        (* defining op of a value id *)
@@ -337,11 +338,33 @@ let run_once ?(fast_math = false)
             | Value v ->
               changed := true;
               Hashtbl.replace subst i.id (Util.resolve subst v);
+              if !Prov.enabled then begin
+                (* attribute constant folds to the fold pass, constant
+                   memory reads to the specializer, the rest to plain
+                   combining *)
+                let pass, action, detail =
+                  match i.op with
+                  | Load _ ->
+                    ("instcombine", Prov.Specialized,
+                     "load from constant memory folded to its value")
+                  | _ ->
+                    if Fold.fold_op i.ty i.op <> None then
+                      ("fold", Prov.Specialized,
+                       "constant expression folded")
+                    else
+                      ("instcombine", Prov.Merged,
+                       "replaced by an equivalent existing value")
+                in
+                Prov.record ~pass ~action ~prov:i.prov ~detail
+              end;
               None
             | Op op ->
               changed := true;
               let i' = { i with op } in
               Hashtbl.replace defs i.id i';
+              if !Prov.enabled then
+                Prov.record ~pass:"instcombine" ~action:Prov.Specialized
+                  ~prov:i.prov ~detail:"rewritten to a simpler form";
               Some i')
           b.instrs)
     f.blocks;

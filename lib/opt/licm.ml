@@ -4,6 +4,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 (* natural loops: (header, body set, preheader) *)
 let loops (f : func) : (int * (int, unit) Hashtbl.t * int) list =
@@ -109,6 +110,16 @@ let run (f : func) : bool =
               in
               if hoisted <> [] then begin
                 List.iter (fun i -> Hashtbl.remove body_defs i.id) hoisted;
+                if !Prov.enabled then
+                  List.iter
+                    (fun i ->
+                      Prov.record ~pass:"licm" ~action:Prov.Hoisted
+                        ~prov:i.prov
+                        ~detail:
+                          (Printf.sprintf
+                             "loop-invariant %%%d hoisted to preheader bb%d"
+                             i.id pre))
+                    hoisted;
                 pre_blk.instrs <- pre_blk.instrs @ hoisted;
                 b.instrs <- kept;
                 progress := true;

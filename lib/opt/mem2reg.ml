@@ -7,6 +7,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 type slot = { off : int; size : int; sty : ty }
 
@@ -155,7 +156,7 @@ let collect_slots (f : func) (derived : (int, int) Hashtbl.t) :
 
 (* Insert a cast sequence converting [v] of type [from_t] to [to_t];
    returns the new instrs (to splice) and the resulting value. *)
-let coerce f ~from_t ~to_t v : instr list * value option =
+let coerce f ~prov ~from_t ~to_t v : instr list * value option =
   if from_t = to_t then ([], Some v)
   else if ty_bits from_t <> ty_bits to_t then ([], None)
   else begin
@@ -167,15 +168,15 @@ let coerce f ~from_t ~to_t v : instr list * value option =
     match from_t, to_t with
     | Ptr _, (I64 | I128) ->
       let id = fresh () in
-      ([ { id; ty = Some to_t; op = Cast (PtrToInt, from_t, v, to_t) } ],
+      ([ { id; ty = Some to_t; op = Cast (PtrToInt, from_t, v, to_t); prov } ],
        Some (V id))
     | I64, Ptr _ ->
       let id = fresh () in
-      ([ { id; ty = Some to_t; op = Cast (IntToPtr, from_t, v, to_t) } ],
+      ([ { id; ty = Some to_t; op = Cast (IntToPtr, from_t, v, to_t); prov } ],
        Some (V id))
     | _ ->
       let id = fresh () in
-      ([ { id; ty = Some to_t; op = Cast (Bitcast, from_t, v, to_t) } ],
+      ([ { id; ty = Some to_t; op = Cast (Bitcast, from_t, v, to_t); prov } ],
        Some (V id))
   end
 
@@ -191,6 +192,15 @@ let promote_alloca (f : func) (aid : int) : bool =
         false
       end
       else begin
+        (* provenance inherited by the phis that replace the slots *)
+        let aprov =
+          let p = ref Prov.none in
+          List.iter
+            (fun b ->
+              List.iter (fun i -> if i.id = aid then p := i.prov) b.instrs)
+            f.blocks;
+          !p
+        in
         let dom = Dom.compute f in
         let df = dominance_frontiers f dom in
         let live = Cfg.reachable f in
@@ -276,20 +286,36 @@ let promote_alloca (f : func) (aid : int) : bool =
                   Option.value ~default:(Undef slot.sty)
                     (List.assoc_opt off !env)
                 in
-                let casts, cv = coerce f ~from_t:slot.sty ~to_t:t cur in
+                let casts, cv =
+                  coerce f ~prov:i.prov ~from_t:slot.sty ~to_t:t cur
+                in
                 (match cv with
                  | Some v ->
                    out := List.rev_append casts !out;
-                   Hashtbl.replace subst i.id v
+                   Hashtbl.replace subst i.id v;
+                   if !Prov.enabled then
+                     Prov.record ~pass:"mem2reg" ~action:Prov.Merged
+                       ~prov:i.prov
+                       ~detail:
+                         (Printf.sprintf "stack load at offset %d promoted \
+                                          to SSA value" off)
                  | None -> out := i :: !out)
               | Store (t, v, V p, _) when Hashtbl.mem derived p ->
                 let off = Hashtbl.find derived p in
                 let slot = slot_at off in
-                let casts, cv = coerce f ~from_t:t ~to_t:slot.sty v in
+                let casts, cv =
+                  coerce f ~prov:i.prov ~from_t:t ~to_t:slot.sty v
+                in
                 (match cv with
                  | Some v ->
                    out := List.rev_append casts !out;
-                   env := (off, v) :: List.remove_assoc off !env
+                   env := (off, v) :: List.remove_assoc off !env;
+                   if !Prov.enabled then
+                     Prov.record ~pass:"mem2reg" ~action:Prov.Deleted
+                       ~prov:i.prov
+                       ~detail:
+                         (Printf.sprintf "stack store at offset %d promoted \
+                                          (value forwarded)" off)
                  | None -> out := i :: !out)
               | _ -> out := i :: !out)
             blk.instrs;
@@ -323,7 +349,8 @@ let promote_alloca (f : func) (aid : int) : bool =
             let blk = find_block f bid in
             let incoming = !(Hashtbl.find phi_incoming pid) in
             blk.instrs <-
-              { id = pid; ty = Some slot.sty; op = Phi (slot.sty, incoming) }
+              { id = pid; ty = Some slot.sty; op = Phi (slot.sty, incoming);
+                prov = aprov }
               :: blk.instrs)
           phi_of;
         (* remove the alloca and derived geps *)
@@ -332,11 +359,19 @@ let promote_alloca (f : func) (aid : int) : bool =
             b.instrs <-
               List.filter
                 (fun i ->
-                  not
-                    (Hashtbl.mem derived i.id
-                     && (i.id = aid || match i.op with Gep _ -> true
-                                                     | Alloca _ -> true
-                                                     | _ -> false)))
+                  let drop =
+                    Hashtbl.mem derived i.id
+                    && (i.id = aid || match i.op with Gep _ -> true
+                                                    | Alloca _ -> true
+                                                    | _ -> false)
+                  in
+                  if drop && !Prov.enabled then
+                    Prov.record ~pass:"mem2reg" ~action:Prov.Deleted
+                      ~prov:i.prov
+                      ~detail:
+                        (if i.id = aid then "promoted alloca removed"
+                         else "derived stack address removed");
+                  not drop)
                 b.instrs)
           f.blocks;
         Util.apply_subst f subst;

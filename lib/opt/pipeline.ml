@@ -147,8 +147,12 @@ let run_func_checked ?(opts = o3) (m : modul) (f : func) :
     if List.mem name !disabled then false
     else begin
       let saved = snapshot f in
+      (* remarks recorded by a pass that gets rolled back describe
+         changes that never happened — discard them with the pass *)
+      let saved_remarks = Obrew_provenance.Provenance.mark () in
       let drop e =
         restore f saved;
+        Obrew_provenance.Provenance.truncate saved_remarks;
         disabled := name :: !disabled;
         dropped := (name, e) :: !dropped;
         false

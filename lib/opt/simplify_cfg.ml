@@ -4,6 +4,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 (* Retarget phi inputs in [blk] when predecessor [from] is renamed to
    [to_]. *)
@@ -40,6 +41,19 @@ let fold_constant_branches (f : func) : bool =
                   }
                 | _ -> i)
               db.instrs
+        end;
+        if !Prov.enabled then begin
+          let bprov =
+            match List.rev b.instrs with
+            | i :: _ -> i.prov
+            | [] -> Prov.none
+          in
+          Prov.record ~pass:"simplifycfg" ~action:Prov.Specialized
+            ~prov:bprov
+            ~detail:
+              (Printf.sprintf
+                 "constant branch folded: bb%d now falls through to bb%d"
+                 b.bid taken)
         end;
         b.term <- Br taken;
         changed := true
@@ -86,16 +100,23 @@ let merge_chains (f : func) : bool =
       let body =
         List.filter_map
           (fun i ->
-            match i.op with
-            | Phi (_, [ (_, v) ]) ->
+            let merged v =
               Hashtbl.replace subst i.id v;
+              if !Prov.enabled then
+                Prov.record ~pass:"simplifycfg" ~action:Prov.Merged
+                  ~prov:i.prov
+                  ~detail:
+                    (Printf.sprintf
+                       "single-input phi eliminated merging bb%d into bb%d"
+                       c b.bid);
               None
+            in
+            match i.op with
+            | Phi (_, [ (_, v) ]) -> merged v
             | Phi (_, ins) -> (
               (* sole pred: all inputs must come from b *)
               match List.assoc_opt b.bid ins with
-              | Some v ->
-                Hashtbl.replace subst i.id v;
-                None
+              | Some v -> merged v
               | None -> Some i)
             | _ -> Some i)
           cb.instrs

@@ -12,6 +12,7 @@
 
 open Obrew_ir
 open Ins
+module Prov = Obrew_provenance.Provenance
 
 let size_threshold = 700
 let max_count = 256
@@ -238,7 +239,7 @@ let peel_once (f : func) (li : loop_info) : loop_info =
               | Phi (t, ins) ->
                 (* inner phi: predecessors are body blocks *)
                 Some
-                  { id = fid i.id; ty = i.ty;
+                  { id = fid i.id; ty = i.ty; prov = i.prov;
                     op =
                       Phi
                         ( t,
@@ -247,7 +248,10 @@ let peel_once (f : func) (li : loop_info) : loop_info =
                               ((if in_body p then Hashtbl.find blk_map p else p),
                                rv2 v))
                             ins ) }
-              | op -> Some { id = fid i.id; ty = i.ty; op = map_operands rv2 op })
+              | op ->
+                Some
+                  { id = fid i.id; ty = i.ty; op = map_operands rv2 op;
+                    prov = i.prov })
             b.instrs
         in
         let term =
@@ -350,7 +354,17 @@ let make_lcssa (f : func) (li : loop_info) =
         let pid = f.next_id in
         f.next_id <- pid + 1;
         eb.instrs <-
-          { id = pid; ty = Some t; op = Phi (t, [ (li.exit_src, V id) ]) }
+          { id = pid; ty = Some t; op = Phi (t, [ (li.exit_src, V id) ]);
+            prov =
+              (match Hashtbl.find_opt body_defs id with
+               | Some bid -> (
+                 match
+                   List.find_opt (fun i -> i.id = id)
+                     (find_block f bid).instrs
+                 with
+                 | Some i -> i.prov
+                 | None -> Prov.none)
+               | None -> Prov.none) }
           :: eb.instrs;
         Hashtbl.replace subst id (V pid))
       needed;
@@ -408,6 +422,18 @@ let run_once ?(fast_math = false) (f : func) : bool =
       in
       if count * body_size > size_threshold then false
       else begin
+        if !Prov.enabled then begin
+          let hprov =
+            match (find_block f li.header).instrs with
+            | i :: _ -> i.prov
+            | [] -> Prov.none
+          in
+          Prov.record ~pass:"unroll" ~action:Prov.Unrolled ~prov:hprov
+            ~detail:
+              (Printf.sprintf
+                 "iteration peeled off loop at bb%d (trip count %d)"
+                 li.header count)
+        end;
         make_lcssa f li;
         ignore (peel_once f li);
         ignore (Instcombine.run ~fast_math f);

@@ -85,7 +85,7 @@ let remap_instr ~fid ~fblk (i : instr) : instr =
     | Phi (t, ins) -> Phi (t, List.map (fun (b, v) -> (fblk b, rv v)) ins)
     | op -> map_operands rv op
   in
-  { id = fid i.id; ty = i.ty; op }
+  { id = fid i.id; ty = i.ty; op; prov = i.prov }
 
 let remap_term ~fid ~fblk (t : terminator) : terminator =
   let rec rv = function

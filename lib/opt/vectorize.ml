@@ -155,10 +155,15 @@ let run ~width ?(aligned = false) (f : func) : bool =
         let sg_bid = new_bid () in
         let sg = { bid = sg_bid; instrs = []; term = Unreachable } in
         f.blocks <- f.blocks @ [ sg ];
-        let add blk ~ty op =
+        let add ?(prov = 0) blk ~ty op =
           let id = fresh () in
-          blk.instrs <- blk.instrs @ [ { id; ty; op } ];
+          blk.instrs <- blk.instrs @ [ { id; ty; op; prov } ];
           V id
+        in
+        let iv_prov =
+          match List.find_opt (fun i -> i.id = p.iv) hb.instrs with
+          | Some i -> i.prov
+          | None -> 0
         in
         (* guard: boundm1 = bound - 1; enter vb if init < boundm1 *)
         let boundm1 =
@@ -218,15 +223,17 @@ let run ~width ?(aligned = false) (f : func) : bool =
                       | e -> e)
                     elts
                 in
-                Hashtbl.replace smap i.id (add vb ~ty:(Some (Ptr 0)) (Gep (base, elts')))
+                Hashtbl.replace smap i.id
+                  (add ~prov:i.prov vb ~ty:(Some (Ptr 0)) (Gep (base, elts')))
               | Load (F64, addr, al) when is_inv addr ->
                 (* loop-invariant scalar load: keep scalar, splat *)
-                let s = add vb ~ty:(Some F64) (Load (F64, addr, al)) in
+                let s = add ~prov:i.prov vb ~ty:(Some F64) (Load (F64, addr, al)) in
                 let i0 =
-                  add vb ~ty:(Some vf64) (InsertElt (vf64, Undef vf64, s, 0))
+                  add ~prov:i.prov vb ~ty:(Some vf64)
+                    (InsertElt (vf64, Undef vf64, s, 0))
                 in
                 Hashtbl.replace vmap i.id
-                  (add vb ~ty:(Some vf64)
+                  (add ~prov:i.prov vb ~ty:(Some vf64)
                      (Shuffle (vf64, i0, Undef vf64, [| 0; 0 |])))
               | Load (F64, V g, _) ->
                 let addr =
@@ -235,7 +242,8 @@ let run ~width ?(aligned = false) (f : func) : bool =
                   | None -> V g
                 in
                 Hashtbl.replace vmap i.id
-                  (add vb ~ty:(Some vf64) (Load (vf64, addr, align)))
+                  (add ~prov:i.prov vb ~ty:(Some vf64)
+                     (Load (vf64, addr, align)))
               | Store (F64, v, V g, _) ->
                 let addr =
                   match Hashtbl.find_opt smap g with
@@ -243,10 +251,11 @@ let run ~width ?(aligned = false) (f : func) : bool =
                   | None -> V g
                 in
                 ignore
-                  (add vb ~ty:None (Store (vf64, vec_operand v, addr, align)))
+                  (add ~prov:i.prov vb ~ty:None
+                     (Store (vf64, vec_operand v, addr, align)))
               | FBin (op, F64, a, b) ->
                 Hashtbl.replace vmap i.id
-                  (add vb ~ty:(Some vf64)
+                  (add ~prov:i.prov vb ~ty:(Some vf64)
                      (FBin (op, vf64, vec_operand a, vec_operand b)))
               | _ ->
                 Obrew_fault.Err.fail Obrew_fault.Err.Opt
@@ -258,13 +267,13 @@ let run ~width ?(aligned = false) (f : func) : bool =
         vb.term <- CondBr (cont, vb_bid, sg_bid);
         (* the iv phi goes first *)
         vb.instrs <-
-          { id = iv_v; ty = Some I64;
+          { id = iv_v; ty = Some I64; prov = iv_prov;
             op = Phi (I64, [ (g_bid, p.init); (vb_bid, next_v) ]) }
           :: vb.instrs;
         (* scalar guard: remaining iterations? *)
         let iv_rem = fresh () in
         sg.instrs <-
-          [ { id = iv_rem; ty = Some I64;
+          [ { id = iv_rem; ty = Some I64; prov = iv_prov;
               op = Phi (I64, [ (g_bid, p.init); (vb_bid, next_v) ]) } ];
         let more =
           add sg ~ty:(Some I1) (Icmp (Slt, I64, V iv_rem, p.bound))

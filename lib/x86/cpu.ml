@@ -21,6 +21,7 @@ open Insn
 open Obrew_fault
 
 module Tel = Obrew_telemetry.Telemetry
+module Prov = Obrew_provenance.Provenance
 
 (* emulator failures are typed [Err.Emulate] errors *)
 let err fmt = Err.fail Err.Emulate fmt
@@ -718,11 +719,14 @@ let exec cpu (i : insn) =
   cpu.pen
 
 let step cpu =
+  let a = cpu.rip in
   let i, len = fetch cpu cpu.rip in
   cpu.rip <- cpu.rip + len;
   let penalty = exec cpu i in
   cpu.icount <- cpu.icount + 1;
-  cpu.cycles <- cpu.cycles + Cost.insn_cost cpu.cost i + penalty
+  let c = Cost.insn_cost cpu.cost i + penalty in
+  cpu.cycles <- cpu.cycles + c;
+  if !Prov.enabled then Prov.record_insn a c
 
 (* -------- instruction translation -------- *)
 
@@ -1026,7 +1030,7 @@ let lookup_block cpu addr : sblock =
    of the loop, and cycles/icount are written back once per block
    (with the executed prefix accounted exactly if an instruction
    faults). *)
-let exec_block cpu (b : sblock) =
+let exec_block_fast cpu (b : sblock) =
   Tel.incr_c c_sb_exec;
   let ops = b.sb_ops and rips = b.sb_rips in
   let n = Array.length ops in
@@ -1048,6 +1052,42 @@ let exec_block cpu (b : sblock) =
      raise e);
   cpu.icount <- cpu.icount + n;
   cpu.cycles <- cpu.cycles + b.sb_static + !penalties
+
+(* Profiled twin of {!exec_block_fast}: attributes every simulated
+   cycle (static cost + dynamic penalty) to the guest address of the
+   instruction that spent it, and the block total to the superblock
+   entry.  The per-insn sums equal the engine's cycle writeback
+   exactly, including the executed prefix of a faulting block.  The
+   address of instruction [k] is the block entry for [k = 0] and the
+   previous instruction's post-rip otherwise (rip is advanced past an
+   instruction before it executes). *)
+let exec_block_profiled cpu (b : sblock) =
+  Tel.incr_c c_sb_exec;
+  let ops = b.sb_ops and rips = b.sb_rips and costs = b.sb_costs in
+  let n = Array.length ops in
+  let total = ref 0 in
+  let k = ref 0 in
+  (try
+     while !k < n do
+       let addr = if !k = 0 then b.sb_entry else rips.(!k - 1) in
+       cpu.rip <- Array.unsafe_get rips !k;
+       let c = costs.(!k) + (Array.unsafe_get ops !k) cpu in
+       Prov.record_insn addr c;
+       total := !total + c;
+       incr k
+     done
+   with e ->
+     cpu.icount <- cpu.icount + !k;
+     cpu.cycles <- cpu.cycles + !total;
+     Prov.record_block b.sb_entry ~cycles:!total ~insns:!k;
+     raise e);
+  cpu.icount <- cpu.icount + n;
+  cpu.cycles <- cpu.cycles + !total;
+  Prov.record_block b.sb_entry ~cycles:!total ~insns:n
+
+(* the fast path pays exactly one branch when profiling is off *)
+let exec_block cpu (b : sblock) =
+  if !Prov.enabled then exec_block_profiled cpu b else exec_block_fast cpu b
 
 (* Successor lookup through the block's inline cache: a chain link is
    used only if it is still valid and its entry matches the live rip,

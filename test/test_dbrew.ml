@@ -41,6 +41,22 @@ let test_par_fixation () =
   let n, _ = Image.call img ~fn:fn' ~args:[ 100L; 999L (* ignored *) ] in
   check ci64 "specialized" 142L n
 
+let test_lea_wraps_64bit () =
+  (* a known lea must wrap mod 2^64, not in the 63-bit address space:
+     with rsi fixed to -1, shr gives 2^63-1 and 3*(2^63-1) = 2^63-3 *)
+  let img = Image.create () in
+  let fn =
+    Image.install_code img
+      [ I (Shift (Shr, W64, OReg Reg.RSI, ShImm 1));
+        I (Lea (Reg.RAX, mem_bi Reg.RSI Reg.RSI S2));
+        I Ret ]
+  in
+  let r = Api.dbrew_new img fn in
+  Api.dbrew_set_par r 1 (-1L);
+  let fn' = Api.dbrew_rewrite r in
+  let n, _ = Image.call img ~fn:fn' ~args:[ 0L; 999L (* ignored *) ] in
+  check ci64 "3 * (-1 lsr 1)" 0x7FFFFFFFFFFFFFFDL n
+
 let test_mem_fixation () =
   (* f(p, x) = [p] * x with [p] fixed to 7 *)
   let img = Image.create () in
@@ -459,6 +475,8 @@ let run_suites () =
       ("rewrite",
        [ Alcotest.test_case "passthrough" `Quick test_passthrough;
          Alcotest.test_case "parameter fixation" `Quick test_par_fixation;
+         Alcotest.test_case "known lea wraps mod 2^64" `Quick
+           test_lea_wraps_64bit;
          Alcotest.test_case "memory fixation" `Quick test_mem_fixation;
          Alcotest.test_case "loop unrolling" `Quick test_loop_unrolling;
          Alcotest.test_case "unroll w/ unknown data" `Quick

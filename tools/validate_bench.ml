@@ -2,12 +2,18 @@
 
      validate_bench BENCH_fig9a.json [BENCH_fig9b.json ...]
      validate_bench --trace trace.json
+     validate_bench --remarks remarks.json --profile profile.json
+     validate_bench compare BASELINE.json CURRENT.json [--tol PCT]
 
-   Checks BENCH_*.json files (written by `bench --json`) and
-   chrome://tracing files (written by `--trace`) against the shapes CI
-   depends on, so a schema drift fails the pipeline instead of silently
-   producing unreadable artifacts.  Uses a small recursive-descent JSON
-   parser to stay dependency-free. *)
+   Checks BENCH_*.json files (written by `bench --json`),
+   chrome://tracing files (written by `--trace`), optimizer-remark
+   dumps (`--remarks`) and cycle profiles (`--profile`) against the
+   shapes CI depends on, so a schema drift fails the pipeline instead
+   of silently producing unreadable artifacts.  The `compare`
+   subcommand diffs two BENCH files row by row and exits nonzero when
+   any row's wall time regressed by more than the tolerance (default
+   10%) — the first consumer of the cross-PR bench trajectory.  Uses a
+   small recursive-descent JSON parser to stay dependency-free. *)
 
 type json =
   | Null
@@ -224,6 +230,67 @@ let check_bench path (j : json) =
   check_counts (ctx ^ ".dbrew_memo") (field ctx j "dbrew_memo");
   Printf.printf "%s: OK (%d rows)\n" ctx (List.length rows)
 
+let remark_actions =
+  [ "deleted"; "merged"; "hoisted"; "unrolled"; "specialized" ]
+
+let check_remarks path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let rs = as_arr (ctx ^ ".remarks") (field ctx j "remarks") in
+  List.iteri
+    (fun i r ->
+      let rctx = Printf.sprintf "%s.remarks[%d]" ctx i in
+      if as_str (rctx ^ ".pass") (field rctx r "pass") = "" then
+        fail "%s: empty pass" rctx;
+      let action = as_str (rctx ^ ".action") (field rctx r "action") in
+      if not (List.mem action remark_actions) then
+        fail "%s: unknown action %S" rctx action;
+      if as_int (rctx ^ ".guest_addr") (field rctx r "guest_addr") < 0 then
+        fail "%s: negative guest_addr" rctx;
+      if as_int (rctx ^ ".ord") (field rctx r "ord") < 0 then
+        fail "%s: negative ord" rctx;
+      ignore (as_str (rctx ^ ".detail") (field rctx r "detail")))
+    rs;
+  Printf.printf "%s: OK (%d remarks)\n" ctx (List.length rs)
+
+let check_profile path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let total = as_int (ctx ^ ".total_cycles") (field ctx j "total_cycles") in
+  if total < 0 then fail "%s: negative total_cycles" ctx;
+  if as_int (ctx ^ ".total_execs") (field ctx j "total_execs") < 0 then
+    fail "%s: negative total_execs" ctx;
+  let rows = as_arr (ctx ^ ".rows") (field ctx j "rows") in
+  List.iteri
+    (fun i r ->
+      let rctx = Printf.sprintf "%s.rows[%d]" ctx i in
+      if as_int (rctx ^ ".addr") (field rctx r "addr") < 0 then
+        fail "%s: negative addr" rctx;
+      let cy = as_int (rctx ^ ".cycles") (field rctx r "cycles") in
+      if cy < 0 then fail "%s: negative cycles" rctx;
+      if cy > total then fail "%s: cycles exceed total_cycles" rctx;
+      if as_int (rctx ^ ".execs") (field rctx r "execs") <= 0 then
+        fail "%s: execs <= 0" rctx;
+      let share = as_num (rctx ^ ".share") (field rctx r "share") in
+      if share < 0.0 || share > 1.0 then
+        fail "%s: share %g out of [0,1]" rctx share)
+    rows;
+  let blocks = as_arr (ctx ^ ".blocks") (field ctx j "blocks") in
+  List.iteri
+    (fun i b ->
+      let bctx = Printf.sprintf "%s.blocks[%d]" ctx i in
+      if as_int (bctx ^ ".entry") (field bctx b "entry") < 0 then
+        fail "%s: negative entry" bctx;
+      if as_int (bctx ^ ".cycles") (field bctx b "cycles") < 0 then
+        fail "%s: negative cycles" bctx;
+      if as_int (bctx ^ ".execs") (field bctx b "execs") <= 0 then
+        fail "%s: execs <= 0" bctx)
+    blocks;
+  Printf.printf "%s: OK (%d rows, %d blocks, %d cycles)\n" ctx
+    (List.length rows) (List.length blocks) total
+
 let check_trace path (j : json) =
   let ctx = Filename.basename path in
   let evs = as_arr (ctx ^ ".traceEvents") (field ctx j "traceEvents") in
@@ -259,29 +326,117 @@ let read_file path =
   close_in ic;
   s
 
+(* ------------------------------------------------------------------ *)
+(* compare: wall-time regression gate over two BENCH files             *)
+(* ------------------------------------------------------------------ *)
+
+(* Index a BENCH file's rows by their "Kind/Mode" name. *)
+let bench_rows ctx (j : json) : (string * (int * int)) list =
+  List.map
+    (fun (name, row) ->
+      let rctx = Printf.sprintf "%s.rows[%s]" ctx name in
+      ( name,
+        ( as_int (rctx ^ ".wall_ns") (field rctx row "wall_ns"),
+          as_int (rctx ^ ".cycles") (field rctx row "cycles") ) ))
+    (as_obj (ctx ^ ".rows") (field ctx j "rows"))
+
+let compare_bench ~tol base_path cur_path =
+  let load p = parse (read_file p) in
+  let base = load base_path and cur = load cur_path in
+  let bctx = Filename.basename base_path in
+  let cctx = Filename.basename cur_path in
+  let bsec = as_str (bctx ^ ".section") (field bctx base "section") in
+  let csec = as_str (cctx ^ ".section") (field cctx cur "section") in
+  if bsec <> csec then
+    fail "compare: section mismatch (%s vs %s)" bsec csec;
+  let brows = bench_rows bctx base in
+  let crows = bench_rows cctx cur in
+  let regressions = ref [] in
+  List.iter
+    (fun (name, (bw, bc)) ->
+      match List.assoc_opt name crows with
+      | None -> Printf.printf "  %-28s dropped from current\n" name
+      | Some (cw, cc) ->
+        let dw =
+          if bw = 0 then 0.0
+          else 100.0 *. (float_of_int cw /. float_of_int bw -. 1.0)
+        in
+        let dc =
+          if bc = 0 then 0.0
+          else 100.0 *. (float_of_int cc /. float_of_int bc -. 1.0)
+        in
+        Printf.printf "  %-28s wall %+7.1f%%  cycles %+7.1f%%\n" name dw dc;
+        if dw > tol then regressions := (name, dw) :: !regressions)
+    brows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name brows) then
+        Printf.printf "  %-28s new in current\n" name)
+    crows;
+  match !regressions with
+  | [] ->
+    Printf.printf "compare %s: OK (%d rows, tolerance %.0f%%)\n" bsec
+      (List.length brows) tol
+  | rs ->
+    List.iter
+      (fun (name, dw) ->
+        Printf.eprintf "FAIL %s: wall time of %s regressed %.1f%% (> %.0f%%)\n"
+          bsec name dw tol)
+      (List.rev rs);
+    exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if args = [] then begin
     prerr_endline
-      "usage: validate_bench [--trace FILE | BENCH_*.json] ...";
+      "usage: validate_bench [--trace FILE | --remarks FILE | --profile \
+       FILE | BENCH_*.json] ...\n\
+      \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT]";
     exit 2
   end;
   let failed = ref false in
-  let rec go = function
-    | [] -> ()
-    | "--trace" :: f :: tl ->
-      (try check_trace f (parse (read_file f)) with
-       | Bad m -> Printf.eprintf "FAIL %s\n" m; failed := true
-       | Sys_error m -> Printf.eprintf "FAIL %s\n" m; failed := true);
-      go tl
-    | "--trace" :: [] ->
-      prerr_endline "--trace needs a file argument";
-      exit 2
-    | f :: tl ->
-      (try check_bench f (parse (read_file f)) with
-       | Bad m -> Printf.eprintf "FAIL %s\n" m; failed := true
-       | Sys_error m -> Printf.eprintf "FAIL %s\n" m; failed := true);
-      go tl
+  let checked kind f check =
+    try check f (parse (read_file f)) with
+    | Bad m -> Printf.eprintf "FAIL %s\n" m; failed := true
+    | Sys_error m -> Printf.eprintf "FAIL %s\n" m; failed := true
+    | exception_ ->
+      Printf.eprintf "FAIL %s %s: %s\n" kind f
+        (Printexc.to_string exception_);
+      failed := true
   in
-  go args;
+  (match args with
+   | "compare" :: rest ->
+     let tol = ref 10.0 in
+     let files = ref [] in
+     let rec go = function
+       | "--tol" :: t :: tl -> tol := float_of_string t; go tl
+       | "--tol" :: [] ->
+         prerr_endline "--tol needs a percentage argument";
+         exit 2
+       | f :: tl -> files := f :: !files; go tl
+       | [] -> ()
+     in
+     go rest;
+     (match List.rev !files with
+      | [ base; cur ] -> (
+        try compare_bench ~tol:!tol base cur with
+        | Bad m -> Printf.eprintf "FAIL %s\n" m; exit 1
+        | Sys_error m -> Printf.eprintf "FAIL %s\n" m; exit 1)
+      | _ ->
+        prerr_endline
+          "usage: validate_bench compare BASELINE.json CURRENT.json \
+           [--tol PCT]";
+        exit 2)
+   | _ ->
+     let rec go = function
+       | [] -> ()
+       | "--trace" :: f :: tl -> checked "trace" f check_trace; go tl
+       | "--remarks" :: f :: tl -> checked "remarks" f check_remarks; go tl
+       | "--profile" :: f :: tl -> checked "profile" f check_profile; go tl
+       | ("--trace" | "--remarks" | "--profile") :: [] ->
+         prerr_endline "flag needs a file argument";
+         exit 2
+       | f :: tl -> checked "bench" f check_bench; go tl
+     in
+     go args);
   if !failed then exit 1
