@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick trace profile fuzz-smoke examples ci clean
+.PHONY: all build test bench bench-quick trace profile fuzz fuzz-smoke examples ci clean
 
 all: build
 
@@ -30,6 +30,14 @@ trace:
 profile:
 	dune exec bin/obrew_cli.exe -- stencil --profile \
 	  --profile-out profile.json --remarks remarks.json
+
+# Differential translation-validation campaign: 500 randomized cases
+# through every semantic tier (single-step CPU, superblock engine,
+# lifted IR, optimized IR, JIT code); divergences are shrunk and
+# persisted under _bench/oracle/*.repro.
+fuzz:
+	dune exec bin/obrew_cli.exe -- fuzz --seeds 500 --tiers all \
+	  --out _bench/oracle --stats
 
 # Fixed-seed fault-injection smoke: ~500 random injection plans against
 # the fail-safe pipeline (see test/test_fault.ml).

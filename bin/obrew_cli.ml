@@ -320,9 +320,94 @@ let passes_cmd =
     (Cmd.info "passes" ~doc:"Optimizer pass activity (Sec. VIII outlook).")
     Term.(const run $ sz_arg)
 
+let fuzz_cmd =
+  let module Dr = Obrew_oracle.Driver in
+  let module Or_ = Obrew_oracle.Oracle in
+  let seeds_arg =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N"
+           ~doc:"Number of randomized cases to run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S"
+           ~doc:"Base PRNG seed; the same seed reproduces the same \
+                 campaign bit for bit.")
+  in
+  let tiers_arg =
+    Arg.(value & opt string "all" & info [ "tiers" ] ~docv:"TIERS"
+           ~doc:"Comma-separated tier list (cpu-step, cpu-sb, ir-lift, \
+                 ir-o3, jit) or 'all'.")
+  in
+  let max_len_arg =
+    Arg.(value & opt int 24 & info [ "max-len" ] ~docv:"N"
+           ~doc:"Maximum body length in instructions.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) (Some "_bench/oracle")
+         & info [ "out" ] ~docv:"DIR"
+           ~doc:"Directory where shrunk reproducers are saved.")
+  in
+  let max_failures_arg =
+    Arg.(value & opt int 5 & info [ "max-failures" ] ~docv:"N"
+           ~doc:"Stop the campaign after N divergences.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary.")
+  in
+  let run seeds seed tiers max_len out max_failures quiet stats trace
+      metrics =
+    telemetry_setup trace metrics;
+    if stats then Tel.enable ();
+    let tiers =
+      if tiers = "all" then Or_.all_tiers
+      else
+        List.map
+          (fun t ->
+            match Or_.tier_of_name (String.trim t) with
+            | Some t -> t
+            | None ->
+              Printf.eprintf "unknown tier %S\n" t;
+              exit 2)
+          (String.split_on_char ',' tiers)
+    in
+    if List.length tiers < 2 then begin
+      Printf.eprintf "need at least two tiers to compare\n";
+      exit 2
+    end;
+    let cfg =
+      { Dr.seeds; seed; tiers; max_len; out_dir = out; max_failures;
+        log = (if quiet then ignore else prerr_endline) }
+    in
+    let s = Dr.run_campaign cfg in
+    print_string (Dr.pp_summary s);
+    if stats then begin
+      let show name = Printf.printf "  %-24s %d\n" name (Tel.counter name).Tel.n in
+      Printf.printf "telemetry:\n";
+      show "oracle.cases";
+      show "oracle.divergences";
+      show "oracle.cases_skipped";
+      show "oracle.shrink_steps";
+      List.iter
+        (fun t ->
+          show ("oracle.runs." ^ Or_.tier_name t);
+          show ("oracle.skips." ^ Or_.tier_name t))
+        tiers
+    end;
+    telemetry_finish trace metrics;
+    if s.Dr.s_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential translation validation: run randomized \
+             instruction sequences through every semantic tier \
+             (emulator, superblocks, lifted IR, optimized IR, JIT) and \
+             shrink any mismatch to a minimal reproducer.")
+    Term.(const run $ seeds_arg $ seed_arg $ tiers_arg $ max_len_arg
+          $ out_arg $ max_failures_arg $ quiet_arg $ stats_arg $ trace_arg
+          $ metrics_arg)
+
 let () =
   let doc = "optimized lightweight binary re-writing at runtime" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "obrew" ~version:"1.0.0" ~doc)
-          [ stencil_cmd; modes_cmd; fig6_cmd; passes_cmd ]))
+          [ stencil_cmd; modes_cmd; fig6_cmd; passes_cmd; fuzz_cmd ]))

@@ -116,6 +116,16 @@ let slot_mem off = Insn.mem_base ~disp:off Reg.RSP
 
 (* place [v] (class G) in a register; [into] is the scratch to use if a
    load or materialization is needed *)
+(* narrow values live zero-extended in 64-bit registers; constants must be
+   materialized in that canonical form too, or a sign-extended immediate
+   (e.g. xor with i8 -1 at W64 width) corrupts bits above the type width *)
+let canon_cint (t : ty) (x : int64) =
+  match t with
+  | I1 -> Int64.logand x 1L
+  | I8 -> Int64.logand x 0xFFL
+  | I16 -> Int64.logand x 0xFFFFL
+  | _ -> x
+
 let rec gval ctx ~into (v : value) : Reg.gpr =
   match v with
   | V id -> (
@@ -125,7 +135,8 @@ let rec gval ctx ~into (v : value) : Reg.gpr =
       emit ctx (Insn.Mov (Insn.W64, Insn.OReg into, Insn.OMem (slot_mem off)));
       into
     | LXmm _ -> err "integer value in xmm register")
-  | CInt (_, x) ->
+  | CInt (t, x) ->
+    let x = canon_cint t x in
     if Encode.fits_int32 x && Int64.compare x 0L >= 0 then
       emit ctx (Insn.Mov (Insn.W64, Insn.OReg into, Insn.OImm x))
     else if Encode.fits_int32 x then
@@ -153,7 +164,8 @@ and gsrc ctx ~into (v : value) : Insn.operand =
     | LReg r -> Insn.OReg r
     | LSlot off -> Insn.OMem (slot_mem off)
     | LXmm _ -> err "integer value in xmm register")
-  | CInt (_, x) when Encode.fits_int32 x -> Insn.OImm x
+  | CInt (t, x) when Encode.fits_int32 (canon_cint t x) ->
+    Insn.OImm (canon_cint t x)
   | CInt _ | CPtr _ | Global _ | Undef _ -> Insn.OReg (gval ctx ~into v)
   | CF64 _ | CF32 _ | CVec _ -> err "float constant in integer context"
 

@@ -790,8 +790,8 @@ let lift_insn st (i : Insn.insn) : unit =
        let ovf = Builder.icmp st.b Ne I64 r64 p in
        set_flag st cf_i ovf;
        set_flag st of_i ovf);
-    set_flag st zf_i (Builder.icmp st.b Eq t r (CInt (t, 0L)));
-    set_flag st sf_i (Builder.icmp st.b Slt t r (CInt (t, 0L)));
+    (* zf/sf/pf from the result exactly as the emulator's set_szp *)
+    set_szp st t r;
     set_flag st af_i (CInt (I1, 0L));
     st.cur.cmp_cache <- None;
     set_gpr st w dst r)
@@ -818,47 +818,85 @@ let lift_insn st (i : Insn.insn) : unit =
     let t = ty_of_width w in
     let a = read_operand st w dst in
     let bits = Insn.width_bits w in
+    (* hardware masks the count by 63 (64-bit operand) or 31 (8/16/32),
+       NOT by the operand width: [shl al, 12] shifts by 12 and yields 0 *)
+    let cmask = if w = Insn.W64 then 63 else 31 in
     let n =
       match cnt with
-      | Insn.ShImm n -> CInt (t, Int64.of_int (n land (bits - 1) land 63))
+      | Insn.ShImm n -> CInt (t, Int64.of_int (n land cmask))
       | Insn.ShCl ->
         let cl = get_gpr st Insn.W8 Reg.RCX in
         let cl' =
           if t = I8 then cl
           else Builder.cast st.b Zext ~src_ty:I8 cl ~dst_ty:t
         in
-        Builder.bin st.b And t cl'
-          (CInt (t, Int64.of_int (if w = Insn.W64 then 63 else 31)))
+        Builder.bin st.b And t cl' (CInt (t, Int64.of_int cmask))
     in
     let o = match op with Insn.Shl -> Shl | Insn.Shr -> LShr | Insn.Sar -> AShr in
     let r = Builder.bin st.b o t a n in
-    (* flags: zf/sf from result; cf/of approximated like the emulator;
-       count 0 keeping old flags is modeled only for immediates *)
-    (match cnt with
-     | Insn.ShImm 0 -> ()
+    (* a shift whose masked count is 0 leaves every flag unchanged:
+       immediate counts are decided here, a CL count needs a runtime
+       select (Cpu.exec guards the whole flag update with [n <> 0]) *)
+    let masked_imm =
+      match cnt with Insn.ShImm n -> Some (n land cmask) | Insn.ShCl -> None
+    in
+    (match masked_imm with
+     | Some 0 -> ()
      | _ ->
-       set_szp st t r;
-       (match op with
-        | Insn.Shl ->
-          let sh = Builder.bin st.b Sub t (CInt (t, Int64.of_int bits)) n in
-          let bit = Builder.bin st.b LShr t a sh in
-          let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
-          set_flag st cf_i (Builder.icmp st.b Ne t band (CInt (t, 0L)));
-          let msbr = Builder.icmp st.b Slt t r (CInt (t, 0L)) in
-          set_flag st of_i
-            (Builder.bin st.b Xor I1 msbr (get_flag st cf_i))
-        | Insn.Shr ->
-          let n1 = Builder.bin st.b Sub t n (CInt (t, 1L)) in
-          let bit = Builder.bin st.b LShr t a n1 in
-          let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
-          set_flag st cf_i (Builder.icmp st.b Ne t band (CInt (t, 0L)));
-          set_flag st of_i (Builder.icmp st.b Slt t a (CInt (t, 0L)))
-        | Insn.Sar ->
-          let n1 = Builder.bin st.b Sub t n (CInt (t, 1L)) in
-          let bit = Builder.bin st.b AShr t a n1 in
-          let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
-          set_flag st cf_i (Builder.icmp st.b Ne t band (CInt (t, 0L)));
-          set_flag st of_i (CInt (I1, 0L)));
+       let keep =
+         match cnt with
+         | Insn.ShCl -> Some (Builder.icmp st.b Eq t n (CInt (t, 0L)))
+         | Insn.ShImm _ -> None
+       in
+       let setf i v =
+         match keep with
+         | Some k ->
+           set_flag st i (Builder.select st.b I1 k (get_flag st i) v)
+         | None -> set_flag st i v
+       in
+       let zf = Builder.icmp st.b Eq t r (CInt (t, 0L)) in
+       let sf = Builder.icmp st.b Slt t r (CInt (t, 0L)) in
+       let low =
+         if t = I8 then r else Builder.cast st.b Trunc ~src_ty:t r ~dst_ty:I8
+       in
+       let pc = Builder.intr st.b (Ctpop I8) ~ty:I8 [ low ] in
+       let pband = Builder.bin st.b And I8 pc (CInt (I8, 1L)) in
+       let pf = Builder.icmp st.b Eq I8 pband (CInt (I8, 0L)) in
+       (* cf/of: the [bits - n] / [n - 1] shift amounts wrap in type [t]
+          when the count exceeds the operand width; an IR shift by >=
+          bits yields 0 (sign-fill for AShr), which matches the
+          emulator's [n <= bits] guards bit for bit *)
+       let cf =
+         match op with
+         | Insn.Shl ->
+           let sh = Builder.bin st.b Sub t (CInt (t, Int64.of_int bits)) n in
+           let bit = Builder.bin st.b LShr t a sh in
+           let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
+           Builder.icmp st.b Ne t band (CInt (t, 0L))
+         | Insn.Shr ->
+           let n1 = Builder.bin st.b Sub t n (CInt (t, 1L)) in
+           let bit = Builder.bin st.b LShr t a n1 in
+           let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
+           Builder.icmp st.b Ne t band (CInt (t, 0L))
+         | Insn.Sar ->
+           let n1 = Builder.bin st.b Sub t n (CInt (t, 1L)) in
+           let bit = Builder.bin st.b AShr t a n1 in
+           let band = Builder.bin st.b And t bit (CInt (t, 1L)) in
+           Builder.icmp st.b Ne t band (CInt (t, 0L))
+       in
+       let ov =
+         match op with
+         | Insn.Shl ->
+           let msbr = Builder.icmp st.b Slt t r (CInt (t, 0L)) in
+           Builder.bin st.b Xor I1 msbr cf
+         | Insn.Shr -> Builder.icmp st.b Slt t a (CInt (t, 0L))
+         | Insn.Sar -> CInt (I1, 0L)
+       in
+       setf zf_i zf;
+       setf sf_i sf;
+       setf pf_i pf;
+       setf cf_i cf;
+       setf of_i ov;
        st.cur.cmp_cache <- None);
     write_operand st w dst r
   | Insn.Unop (op, w, dst) -> (

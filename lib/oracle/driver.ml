@@ -1,0 +1,140 @@
+(** Campaign driver: generate N seeded cases, run each through the
+    tier matrix, shrink any divergence to a minimal reproducer and
+    persist it.  Used by [obrew_cli fuzz], [make fuzz] and the CI
+    fuzz-smoke job. *)
+
+module O = Oracle
+module Tel = Obrew_telemetry.Telemetry
+
+type failure = {
+  f_index : int;              (* campaign case number *)
+  f_div : O.divergence;       (* divergence of the original case *)
+  f_case : O.case;            (* minimized case *)
+  f_shrink_checks : int;      (* predicate evaluations spent shrinking *)
+  f_path : string option;     (* where the reproducer was saved *)
+}
+
+type summary = {
+  s_total : int;
+  s_agreed : int;
+  s_skipped : int;            (* cases where < 2 tiers could run *)
+  s_tier_skips : (string * int) list;  (* per-tier skip counts *)
+  s_failures : failure list;
+}
+
+type config = {
+  seeds : int;                (* number of cases *)
+  seed : int;                 (* base PRNG seed *)
+  tiers : O.tier list;
+  max_len : int;              (* max body instructions *)
+  out_dir : string option;    (* where to persist reproducers *)
+  max_failures : int;         (* stop after this many divergences *)
+  log : string -> unit;       (* progress sink *)
+}
+
+let default_config =
+  { seeds = 100; seed = 42; tiers = O.all_tiers; max_len = 24;
+    out_dir = None; max_failures = 5; log = ignore }
+
+let save_failure (cfg : config) (i : int) (c : O.case) (d : O.divergence) :
+    string option =
+  match cfg.out_dir with
+  | None -> None
+  | Some dir ->
+    (try
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+       let name = Printf.sprintf "div-%06d" i in
+       let note =
+         Printf.sprintf "%s vs %s on %s; body:\n%s" (O.tier_name d.O.d_ref)
+           (O.tier_name d.O.d_tier) d.O.d_slot (O.body_listing c)
+       in
+       let path = Filename.concat dir (name ^ ".repro") in
+       Repro.save path (Repro.of_case ~name ~note c);
+       Some path
+     with Sys_error _ | Unix.Unix_error _ -> None)
+
+let run_campaign (cfg : config) : summary =
+  let agreed = ref 0 and skipped = ref 0 in
+  let failures = ref [] in
+  let tier_skips = Hashtbl.create 8 in
+  let note_skips v =
+    List.iter
+      (fun (t, _) ->
+        let k = O.tier_name t in
+        Hashtbl.replace tier_skips k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tier_skips k)))
+      v.O.v_skips
+  in
+  let i = ref 0 in
+  (try
+     while !i < cfg.seeds do
+       let c = Gen.case_of_seed ~seed:cfg.seed ~max_len:cfg.max_len !i in
+       let v = O.run ~tiers:cfg.tiers c in
+       note_skips v;
+       (match v.O.v_div with
+        | None ->
+          if List.length v.O.v_ran >= 2 then incr agreed else incr skipped
+        | Some d ->
+          cfg.log
+            (Printf.sprintf "case %d diverged: %s" !i
+               (O.divergence_to_string d));
+          let check c' =
+            match O.run ~tiers:cfg.tiers c' with
+            | v' -> O.diverged v'
+            | exception _ -> false
+          in
+          let small, checks = Shrink.minimize ~check c in
+          (* re-derive the divergence of the minimized case for the
+             report; fall back to the original *)
+          let d' =
+            match (O.run ~tiers:cfg.tiers small).O.v_div with
+            | Some d' -> d'
+            | None -> d
+          in
+          let path = save_failure cfg !i small d' in
+          cfg.log
+            (Printf.sprintf
+               "shrunk to %d instruction(s) after %d checks:\n%s"
+               (List.length
+                  (List.filter
+                     (function Obrew_x86.Insn.I _ -> true | _ -> false)
+                     small.O.body))
+               checks (O.body_listing small));
+          failures :=
+            { f_index = !i; f_div = d'; f_case = small;
+              f_shrink_checks = checks; f_path = path }
+            :: !failures;
+          if List.length !failures >= cfg.max_failures then raise Exit);
+       incr i
+     done
+   with Exit -> ());
+  { s_total = !i + (if !failures <> [] && !i < cfg.seeds then 1 else 0);
+    s_agreed = !agreed;
+    s_skipped = !skipped;
+    s_tier_skips =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tier_skips []
+      |> List.sort compare;
+    s_failures = List.rev !failures }
+
+let pp_summary (s : summary) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "oracle: %d case(s), %d agreed, %d skipped, %d divergence(s)\n"
+       s.s_total s.s_agreed s.s_skipped (List.length s.s_failures));
+  if s.s_tier_skips <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "tier skips: %s\n"
+         (String.concat ", "
+            (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+               s.s_tier_skips)));
+  List.iter
+    (fun f ->
+      Buffer.add_string b
+        (Printf.sprintf "FAIL case %d (%d shrink checks%s):\n%s%s\n"
+           f.f_index f.f_shrink_checks
+           (match f.f_path with Some p -> ", saved " ^ p | None -> "")
+           (O.divergence_to_string f.f_div)
+           (O.body_listing f.f_case)))
+    s.s_failures;
+  Buffer.contents b

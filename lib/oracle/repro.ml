@@ -1,0 +1,206 @@
+(** Persistent reproducers: a tiny s-expression format for minimized
+    diverging cases, committed under [test/corpus/*.repro] and
+    replayed deterministically by [dune runtest].
+
+    A reproducer stores the *assembled* function bytes (prelude + body
+    + epilogue, based at [Image.code_base]) rather than the body item
+    list, so corpus files stay replayable bit-for-bit even when the
+    harness wrapping evolves.  Floats are stored as their IEEE bit
+    patterns; code and memory as hex strings.
+
+    Grammar:
+    {v
+    (repro
+      (name shl-w8-mask)
+      (args (0x... 0x...))          ; rsi, rdx
+      (fargs (0x... 0x...))         ; xmm0, xmm1 bit patterns
+      (mem "00ab...")               ; initial scratch data, hex
+      (code "4889...")              ; machine code at code_base, hex
+      (note "free text, ignored"))
+    v} *)
+
+type t = {
+  r_name : string;
+  r_args : int64 * int64;
+  r_fargs : float * float;
+  r_mem : string;   (* raw bytes *)
+  r_code : string;  (* raw machine code bytes *)
+  r_note : string;
+}
+
+let to_compiled (r : t) : Oracle.compiled =
+  { Oracle.c_code = r.r_code; c_args = r.r_args; c_fargs = r.r_fargs;
+    c_mem = r.r_mem }
+
+let of_case ~(name : string) ?(note = "") (c : Oracle.case) : t =
+  let cc = Oracle.compile c in
+  { r_name = name; r_args = cc.Oracle.c_args; r_fargs = cc.Oracle.c_fargs;
+    r_mem = cc.Oracle.c_mem; r_code = cc.Oracle.c_code; r_note = note }
+
+(* ---------- s-expressions ---------- *)
+
+type sexp = Atom of string | Str of string | List of sexp list
+
+exception Parse_error of string
+
+let tokenize (s : string) : string list =
+  let toks = ref [] in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | ';' -> while !i < n && s.[!i] <> '\n' do incr i done
+     | '(' -> toks := "(" :: !toks; incr i
+     | ')' -> toks := ")" :: !toks; incr i
+     | '"' ->
+       let b = Buffer.create 16 in
+       incr i;
+       while !i < n && s.[!i] <> '"' do
+         if s.[!i] = '\\' && !i + 1 < n then begin
+           Buffer.add_char b s.[!i + 1];
+           i := !i + 2
+         end
+         else begin
+           Buffer.add_char b s.[!i];
+           incr i
+         end
+       done;
+       if !i >= n then raise (Parse_error "unterminated string");
+       incr i;
+       toks := ("\"" ^ Buffer.contents b) :: !toks
+     | _ ->
+       let start = !i in
+       while
+         !i < n
+         && not (List.mem s.[!i] [ ' '; '\t'; '\n'; '\r'; '('; ')'; '"' ])
+       do
+         incr i
+       done;
+       toks := String.sub s start (!i - start) :: !toks)
+  done;
+  List.rev !toks
+
+let parse (s : string) : sexp =
+  let rec one = function
+    | [] -> raise (Parse_error "unexpected end of input")
+    | "(" :: rest ->
+      let items, rest = many rest in
+      (List items, rest)
+    | ")" :: _ -> raise (Parse_error "unexpected )")
+    | tok :: rest ->
+      if String.length tok > 0 && tok.[0] = '"' then
+        (Str (String.sub tok 1 (String.length tok - 1)), rest)
+      else (Atom tok, rest)
+  and many = function
+    | ")" :: rest -> ([], rest)
+    | [] -> raise (Parse_error "missing )")
+    | toks ->
+      let x, rest = one toks in
+      let xs, rest = many rest in
+      (x :: xs, rest)
+  in
+  match one (tokenize s) with
+  | x, [] -> x
+  | _, _ :: _ -> raise (Parse_error "trailing tokens")
+
+(* ---------- hex / int64 helpers ---------- *)
+
+let hex_of_string (s : string) : string =
+  String.concat ""
+    (List.init (String.length s) (fun i ->
+         Printf.sprintf "%02x" (Char.code s.[i])))
+
+let string_of_hex (h : string) : string =
+  if String.length h mod 2 <> 0 then raise (Parse_error "odd hex length");
+  String.init (String.length h / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let i64_atom (v : int64) : string = Printf.sprintf "0x%Lx" v
+
+let i64_of_atom (a : string) : int64 =
+  try Int64.of_string a
+  with _ -> raise (Parse_error ("bad int64: " ^ a))
+
+(* ---------- (de)serialization ---------- *)
+
+let to_string (r : t) : string =
+  let a1, a2 = r.r_args in
+  let f1, f2 = r.r_fargs in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "(repro\n";
+  Buffer.add_string b (Printf.sprintf "  (name %s)\n" r.r_name);
+  Buffer.add_string b
+    (Printf.sprintf "  (args (%s %s))\n" (i64_atom a1) (i64_atom a2));
+  Buffer.add_string b
+    (Printf.sprintf "  (fargs (%s %s))  ; %h %h\n"
+       (i64_atom (Int64.bits_of_float f1))
+       (i64_atom (Int64.bits_of_float f2))
+       f1 f2);
+  Buffer.add_string b
+    (Printf.sprintf "  (mem \"%s\")\n" (hex_of_string r.r_mem));
+  Buffer.add_string b
+    (Printf.sprintf "  (code \"%s\")\n" (hex_of_string r.r_code));
+  if r.r_note <> "" then begin
+    let esc = String.concat "\\\"" (String.split_on_char '"' r.r_note) in
+    Buffer.add_string b (Printf.sprintf "  (note \"%s\")\n" esc)
+  end;
+  Buffer.add_string b ")\n";
+  Buffer.contents b
+
+let field (fields : sexp list) (key : string) : sexp option =
+  List.find_map
+    (function
+      | List (Atom k :: rest) when k = key ->
+        Some (match rest with [ x ] -> x | xs -> List xs)
+      | _ -> None)
+    fields
+
+let of_string (s : string) : t =
+  match parse s with
+  | List (Atom "repro" :: fields) ->
+    let str_field k ~default =
+      match field fields k with
+      | Some (Str v) -> v
+      | Some (Atom v) -> v
+      | _ -> default
+    in
+    let pair2 k =
+      match field fields k with
+      | Some (List [ a; b ]) ->
+        let atom = function
+          | Atom v | Str v -> v
+          | List _ -> raise (Parse_error ("bad pair in " ^ k))
+        in
+        (i64_of_atom (atom a), i64_of_atom (atom b))
+      | _ -> raise (Parse_error ("missing field " ^ k))
+    in
+    let a1, a2 = pair2 "args" in
+    let fb1, fb2 = pair2 "fargs" in
+    let mem = string_of_hex (str_field "mem" ~default:"") in
+    let code = string_of_hex (str_field "code" ~default:"") in
+    if code = "" then raise (Parse_error "empty code");
+    { r_name = str_field "name" ~default:"unnamed";
+      r_args = (a1, a2);
+      r_fargs = (Int64.float_of_bits fb1, Int64.float_of_bits fb2);
+      r_mem = mem;
+      r_code = code;
+      r_note = str_field "note" ~default:"" }
+  | _ -> raise (Parse_error "expected (repro ...)")
+
+let save (path : string) (r : t) : unit =
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc
+
+let load (path : string) : t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** Replay a reproducer through [tiers]; the verdict's divergence is
+    [None] when all tiers agree. *)
+let replay ?tiers (r : t) : Oracle.verdict =
+  Oracle.run_compiled ?tiers (to_compiled r)

@@ -1,0 +1,193 @@
+(** QCheck-style shrinking of diverging oracle cases.
+
+    Given a failing case and a predicate (re-running the differential
+    harness), greedily apply three families of reductions to a
+    fixpoint under a bounded budget:
+
+    - structural: delta-debug the body by deleting windows of items
+      (halving window sizes down to single instructions), refusing any
+      candidate that would orphan a [Jcc] label;
+    - constants: pull immediates, shift counts, displacements and
+      [movabs] payloads toward 0/1;
+    - state: zero the integer/float arguments and the initial scratch
+      bytes.
+
+    Every predicate evaluation is counted into the
+    [oracle.shrink_steps] telemetry counter. *)
+
+open Obrew_x86
+module O = Oracle
+module Tel = Obrew_telemetry.Telemetry
+
+let c_shrink_steps = Tel.counter "oracle.shrink_steps"
+
+(* a body is well-formed when every Lbl target still has its L *)
+let labels_ok (body : Insn.item list) : bool =
+  let defined =
+    List.filter_map (function Insn.L l -> Some l | Insn.I _ -> None) body
+  in
+  List.for_all
+    (function
+      | Insn.I (Insn.Jcc (_, Insn.Lbl l)) | Insn.I (Insn.Jmp (Insn.Lbl l)) ->
+        List.mem l defined
+      | _ -> true)
+    body
+
+let drop_window (l : 'a list) (at : int) (len : int) : 'a list =
+  List.filteri (fun i _ -> i < at || i >= at + len) l
+
+(* ---------- constant shrinking ---------- *)
+
+let smaller_int64 (v : int64) : int64 list =
+  if v = 0L then []
+  else
+    [ 0L; 1L; Int64.div v 2L ]
+    |> List.filter (fun x -> x <> v)
+    |> List.sort_uniq compare
+
+let smaller_int (v : int) : int list =
+  if v = 0 then [] else List.sort_uniq compare
+      (List.filter (fun x -> x <> v) [ 0; 1; v / 2 ])
+
+let shrink_mem (m : Insn.mem_addr) : Insn.mem_addr list =
+  List.map (fun d -> { m with Insn.disp = d }) (smaller_int m.Insn.disp)
+
+let shrink_operand (o : Insn.operand) : Insn.operand list =
+  match o with
+  | Insn.OImm v -> List.map (fun x -> Insn.OImm x) (smaller_int64 v)
+  | Insn.OMem m -> List.map (fun m -> Insn.OMem m) (shrink_mem m)
+  | Insn.OReg _ | Insn.OReg8H _ -> []
+
+(* candidate simplifications of one instruction, most aggressive first *)
+let shrink_insn (i : Insn.insn) : Insn.insn list =
+  match i with
+  | Insn.Mov (w, d, s) ->
+    List.map (fun s -> Insn.Mov (w, d, s)) (shrink_operand s)
+  | Insn.Movabs (r, v) ->
+    List.map (fun v -> Insn.Movabs (r, v)) (smaller_int64 v)
+  | Insn.Alu (op, w, d, s) ->
+    List.map (fun s -> Insn.Alu (op, w, d, s)) (shrink_operand s)
+    @ List.map (fun d -> Insn.Alu (op, w, d, s)) (shrink_operand d)
+  | Insn.Shift (op, w, d, Insn.ShImm n) ->
+    List.map (fun n -> Insn.Shift (op, w, d, Insn.ShImm n)) (smaller_int n)
+    @ List.map (fun d -> Insn.Shift (op, w, d, Insn.ShImm n)) (shrink_operand d)
+  | Insn.Shift (op, w, d, Insn.ShCl) ->
+    List.map (fun d -> Insn.Shift (op, w, d, Insn.ShCl)) (shrink_operand d)
+  | Insn.Imul3 (w, d, s, v) ->
+    List.map (fun v -> Insn.Imul3 (w, d, s, v)) (smaller_int64 v)
+  | Insn.Lea (r, m) -> List.map (fun m -> Insn.Lea (r, m)) (shrink_mem m)
+  | Insn.Test (w, a, b) ->
+    List.map (fun b -> Insn.Test (w, a, b)) (shrink_operand b)
+  | _ -> []
+
+(* ---------- driver ---------- *)
+
+type stats = { mutable checks : int; mutable accepted : int }
+
+let check_case ~(check : O.case -> bool) (st : stats) ~(budget : int)
+    (c : O.case) : bool =
+  if st.checks >= budget then false
+  else begin
+    st.checks <- st.checks + 1;
+    Tel.incr_c c_shrink_steps;
+    check c
+  end
+
+(* one pass of window deletion; returns the reduced case *)
+let pass_delete ~check st ~budget (c : O.case) : O.case =
+  let cur = ref c in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let n = List.length (!cur).O.body in
+    let win = ref (max 1 (n / 2)) in
+    while !win >= 1 do
+      let at = ref 0 in
+      while !at + !win <= List.length (!cur).O.body do
+        let cand_body = drop_window (!cur).O.body !at !win in
+        if
+          labels_ok cand_body
+          && cand_body <> (!cur).O.body
+          && check_case ~check st ~budget { !cur with O.body = cand_body }
+        then begin
+          cur := { !cur with O.body = cand_body };
+          st.accepted <- st.accepted + 1;
+          continue_ := true
+          (* stay at the same [at]: the next window slid into place *)
+        end
+        else at := !at + 1
+      done;
+      win := !win / 2
+    done
+  done;
+  !cur
+
+let pass_consts ~check st ~budget (c : O.case) : O.case =
+  let cur = ref c in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iteri
+      (fun idx item ->
+        match item with
+        | Insn.L _ -> ()
+        | Insn.I i ->
+          List.iter
+            (fun i' ->
+              if not !changed then begin
+                let body =
+                  List.mapi
+                    (fun k it -> if k = idx then Insn.I i' else it)
+                    (!cur).O.body
+                in
+                if check_case ~check st ~budget { !cur with O.body = body }
+                then begin
+                  cur := { !cur with O.body = body };
+                  st.accepted <- st.accepted + 1;
+                  changed := true
+                end
+              end)
+            (shrink_insn i))
+      (!cur).O.body
+  done;
+  !cur
+
+let pass_state ~check st ~budget (c : O.case) : O.case =
+  let cur = ref c in
+  let try_ cand =
+    if cand <> !cur
+       && check_case ~check st ~budget cand then begin
+      cur := cand;
+      st.accepted <- st.accepted + 1
+    end
+  in
+  let a1, a2 = (!cur).O.args in
+  List.iter (fun v -> try_ { !cur with O.args = (v, snd (!cur).O.args) })
+    (smaller_int64 a1);
+  List.iter (fun v -> try_ { !cur with O.args = (fst (!cur).O.args, v) })
+    (smaller_int64 a2);
+  let f1, f2 = (!cur).O.fargs in
+  if f1 <> 0.0 then try_ { !cur with O.fargs = (0.0, snd (!cur).O.fargs) };
+  if f2 <> 0.0 then try_ { !cur with O.fargs = (fst (!cur).O.fargs, 0.0) };
+  if (!cur).O.mem <> String.make O.data_size '\000' then
+    try_ { !cur with O.mem = String.make O.data_size '\000' };
+  !cur
+
+(** Minimize [c] while [check] keeps holding.  [check] must be true of
+    [c] itself.  Returns the reduced case and the number of predicate
+    evaluations spent. *)
+let minimize ?(budget = 600) ~(check : O.case -> bool) (c : O.case) :
+    O.case * int =
+  let st = { checks = 0; accepted = 0 } in
+  let cur = ref c in
+  let rounds = ref 0 in
+  let improved = ref true in
+  while !improved && !rounds < 8 && st.checks < budget do
+    incr rounds;
+    let before = !cur in
+    cur := pass_delete ~check st ~budget !cur;
+    cur := pass_consts ~check st ~budget !cur;
+    cur := pass_state ~check st ~budget !cur;
+    improved := !cur <> before
+  done;
+  (!cur, st.checks)

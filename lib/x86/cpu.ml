@@ -496,7 +496,13 @@ let exec cpu (i : insn) =
         | ShCl -> Int64.to_int (trunc W8 cpu.regs.(1)))
        land (if w = W64 then 63 else 31)
      in
-     if n <> 0 then begin
+     (* count 0 leaves flags alone but the destination write still
+        happens architecturally: a W32 write zeroes bits 63:32 *)
+     if n = 0 then begin
+       let a = read_op cpu w dst in
+       write_op cpu w dst a
+     end
+     else begin
        let a = read_op cpu w dst in
        let r =
          match op with
