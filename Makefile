@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick trace profile fuzz fuzz-smoke examples ci clean
+.PHONY: all build test bench bench-quick bench-mips trace profile fuzz fuzz-smoke examples ci clean
 
 all: build
 
@@ -18,6 +18,15 @@ bench:
 
 bench-quick:
 	dune exec bench/main.exe -- --quick --json
+
+# Emulator-throughput gate: quick fig9a run, then fail if aggregate
+# emulated MIPS dropped more than 25% against the committed baseline
+# (wall-time rows get a loose band; MIPS is the headline metric).
+bench-mips:
+	dune exec bench/main.exe -- --quick --only fig9a --json
+	dune exec tools/validate_bench.exe -- compare \
+	  bench/baselines/BENCH_fig9a.json _bench/BENCH_fig9a.json \
+	  --tol 300 --tol-mips 25
 
 # Chrome-trace of the full pipeline on the Jacobi case study: load
 # trace.json at chrome://tracing or ui.perfetto.dev.

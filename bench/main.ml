@@ -110,7 +110,14 @@ let jobj k fields = Printf.sprintf "%S: {%s}" k (String.concat ", " fields)
 let sb_stats_fields (s : Cpu.cache_stats) =
   [ jint "hits" s.Cpu.block_hits; jint "misses" s.Cpu.block_misses;
     jint "chained" s.Cpu.block_chained; jint "flushes" s.Cpu.block_flushes;
-    jint "live" s.Cpu.blocks_live ]
+    jint "live" s.Cpu.blocks_live;
+    jint "traces" s.Cpu.traces_built;
+    jint "trace_side_exits" s.Cpu.trace_side_exits;
+    jobj "fused_pairs"
+      (List.map (fun (pat, n) -> jint pat n) s.Cpu.fused_pairs);
+    jint "flag_records" s.Cpu.flag_records;
+    jint "flag_materialized" s.Cpu.flag_materialized;
+    jint "flag_dead_writes" s.Cpu.flag_dead_writes ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: per-instruction lifting                                     *)

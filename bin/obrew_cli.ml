@@ -48,6 +48,13 @@ let stats_arg =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"Print execution-engine, memo-cache and robustness counters.")
 
+let stats_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "stats-json" ] ~docv:"FILE"
+         ~doc:"Write the execution-engine counters (superblocks, traces, \
+               mega-op fusion, lazy flags) as JSON to FILE; '-' for \
+               stdout.")
+
 let fallback_arg =
   Arg.(value & flag & info [ "fallback" ]
          ~doc:"On failure degrade gracefully (DBrew+LLVM, DBrew, LLVM, \
@@ -164,6 +171,19 @@ let print_stats (env : Modes.env) =
     (if lookups = 0 then 0.0
      else 100.0 *. float_of_int s.Cpu.block_hits /. float_of_int lookups)
     s.Cpu.block_chained s.Cpu.block_flushes;
+  Printf.printf "traces: %d built, %d side exits taken\n" s.Cpu.traces_built
+    s.Cpu.trace_side_exits;
+  Printf.printf "fused pairs: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (pat, n) -> Printf.sprintf "%s %d" pat n)
+          s.Cpu.fused_pairs));
+  Printf.printf
+    "lazy flags: %d records, %d materialized (%d avoided), %d dead writes \
+     elided\n"
+    s.Cpu.flag_records s.Cpu.flag_materialized
+    (s.Cpu.flag_records - s.Cpu.flag_materialized)
+    s.Cpu.flag_dead_writes;
   let mh, mm = Modes.memo_stats env in
   let dh, dm = Obrew_dbrew.Api.memo_stats () in
   Printf.printf
@@ -173,9 +193,44 @@ let print_stats (env : Modes.env) =
   let fired = Obrew_fault.Fault.fired () in
   if fired > 0 then Printf.printf "fault injection: %d fault(s) fired\n" fired
 
+(* machine-readable twin of [print_stats]: the same engine counters in
+   the shape CI archives as an artifact (schema shared with the
+   "superblocks" object in BENCH_*.json) *)
+let write_stats_json (env : Modes.env) (dest : string) =
+  let open Obrew_x86 in
+  let s = Cpu.cache_stats env.Modes.img.Image.cpu in
+  let jint k v = Printf.sprintf "  %S: %d" k v in
+  let body =
+    String.concat ",\n"
+      [ Printf.sprintf "  \"schema_version\": 1";
+        jint "hits" s.Cpu.block_hits;
+        jint "misses" s.Cpu.block_misses;
+        jint "chained" s.Cpu.block_chained;
+        jint "flushes" s.Cpu.block_flushes;
+        jint "live" s.Cpu.blocks_live;
+        jint "traces" s.Cpu.traces_built;
+        jint "trace_side_exits" s.Cpu.trace_side_exits;
+        Printf.sprintf "  \"fused_pairs\": {%s}"
+          (String.concat ", "
+             (List.map
+                (fun (pat, n) -> Printf.sprintf "%S: %d" pat n)
+                s.Cpu.fused_pairs));
+        jint "flag_records" s.Cpu.flag_records;
+        jint "flag_materialized" s.Cpu.flag_materialized;
+        jint "flag_dead_writes" s.Cpu.flag_dead_writes ]
+  in
+  let text = "{\n" ^ body ^ "\n}\n" in
+  if dest = "-" then print_string text
+  else begin
+    let oc = open_out dest in
+    output_string oc text;
+    close_out oc;
+    Printf.eprintf "engine stats written to %s\n" dest
+  end
+
 let stencil_cmd =
-  let run sz iters kind style tr dump stats fallback max_insns fault trace
-      metrics profile profile_out annotate remarks =
+  let run sz iters kind style tr dump stats stats_json fallback max_insns
+      fault trace metrics profile profile_out annotate remarks =
     install_fault_plan fault;
     telemetry_setup trace metrics;
     provenance_setup profile profile_out annotate remarks;
@@ -201,6 +256,9 @@ let stencil_cmd =
          (Modes.kind_name kind) (Modes.style_name style)
          (Modes.transform_name used) cycles insns (dt *. 1e3);
        if stats then print_stats env;
+       (match stats_json with
+        | Some dest -> write_stats_json env dest
+        | None -> ());
        if dump then
          print_endline
            (Obrew_x86.Pp.listing
@@ -221,9 +279,10 @@ let stencil_cmd =
   Cmd.v
     (Cmd.info "stencil" ~doc:"Run the Jacobi case study in one mode.")
     Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
-          $ transform_arg $ dump_arg $ stats_arg $ fallback_arg
-          $ max_insns_arg $ fault_arg $ trace_arg $ metrics_arg
-          $ profile_arg $ profile_out_arg $ annotate_arg $ remarks_arg)
+          $ transform_arg $ dump_arg $ stats_arg $ stats_json_arg
+          $ fallback_arg $ max_insns_arg $ fault_arg $ trace_arg
+          $ metrics_arg $ profile_arg $ profile_out_arg $ annotate_arg
+          $ remarks_arg)
 
 let modes_cmd =
   let run sz iters style stats fault trace metrics =
@@ -341,6 +400,13 @@ let fuzz_cmd =
     Arg.(value & opt int 24 & info [ "max-len" ] ~docv:"N"
            ~doc:"Maximum body length in instructions.")
   in
+  let profile_arg =
+    Arg.(value & opt string "uniform" & info [ "profile" ] ~docv:"P"
+           ~doc:"Case-shape bias: 'uniform' draws from the whole ISA \
+                 subset, 'fusion' skews toward fusible adjacent pairs \
+                 and tight backedge loops to stress the superblock \
+                 engine's traces and mega-op fusion.")
+  in
   let out_arg =
     Arg.(value & opt (some string) (Some "_bench/oracle")
          & info [ "out" ] ~docv:"DIR"
@@ -353,10 +419,18 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary.")
   in
-  let run seeds seed tiers max_len out max_failures quiet stats trace
-      metrics =
+  let run seeds seed tiers max_len profile out max_failures quiet stats
+      trace metrics =
     telemetry_setup trace metrics;
     if stats then Tel.enable ();
+    let profile =
+      match profile with
+      | "uniform" -> Obrew_oracle.Gen.Uniform
+      | "fusion" -> Obrew_oracle.Gen.Fusion
+      | p ->
+        Printf.eprintf "unknown profile %S (want uniform or fusion)\n" p;
+        exit 2
+    in
     let tiers =
       if tiers = "all" then Or_.all_tiers
       else
@@ -374,8 +448,8 @@ let fuzz_cmd =
       exit 2
     end;
     let cfg =
-      { Dr.seeds; seed; tiers; max_len; out_dir = out; max_failures;
-        log = (if quiet then ignore else prerr_endline) }
+      { Dr.seeds; seed; tiers; max_len; profile; out_dir = out;
+        max_failures; log = (if quiet then ignore else prerr_endline) }
     in
     let s = Dr.run_campaign cfg in
     print_string (Dr.pp_summary s);
@@ -402,8 +476,8 @@ let fuzz_cmd =
              (emulator, superblocks, lifted IR, optimized IR, JIT) and \
              shrink any mismatch to a minimal reproducer.")
     Term.(const run $ seeds_arg $ seed_arg $ tiers_arg $ max_len_arg
-          $ out_arg $ max_failures_arg $ quiet_arg $ stats_arg $ trace_arg
-          $ metrics_arg)
+          $ profile_arg $ out_arg $ max_failures_arg $ quiet_arg
+          $ stats_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "optimized lightweight binary re-writing at runtime" in

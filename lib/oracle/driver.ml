@@ -27,6 +27,7 @@ type config = {
   seed : int;                 (* base PRNG seed *)
   tiers : O.tier list;
   max_len : int;              (* max body instructions *)
+  profile : Gen.profile;      (* body-shape bias *)
   out_dir : string option;    (* where to persist reproducers *)
   max_failures : int;         (* stop after this many divergences *)
   log : string -> unit;       (* progress sink *)
@@ -34,7 +35,7 @@ type config = {
 
 let default_config =
   { seeds = 100; seed = 42; tiers = O.all_tiers; max_len = 24;
-    out_dir = None; max_failures = 5; log = ignore }
+    profile = Gen.Uniform; out_dir = None; max_failures = 5; log = ignore }
 
 let save_failure (cfg : config) (i : int) (c : O.case) (d : O.divergence) :
     string option =
@@ -68,7 +69,10 @@ let run_campaign (cfg : config) : summary =
   let i = ref 0 in
   (try
      while !i < cfg.seeds do
-       let c = Gen.case_of_seed ~seed:cfg.seed ~max_len:cfg.max_len !i in
+       let c =
+         Gen.case_of_seed ~profile:cfg.profile ~seed:cfg.seed
+           ~max_len:cfg.max_len !i
+       in
        let v = O.run ~tiers:cfg.tiers c in
        note_skips v;
        (match v.O.v_div with

@@ -284,15 +284,101 @@ let gen_jcc r lbl =
   let arm = List.concat (List.init (1 + int r 2) (fun _ -> gen_filler r lbl)) in
   cmp @ [ Insn.I (Insn.Jcc (pick r ccs, Insn.Lbl l)) ] @ arm @ [ Insn.L l ]
 
-let generators =
+(* ---------- fusion-profile generators ---------- *)
+
+(* adjacent pairs the superblock engine's mega-op fuser recognizes:
+   mov-imm feeding an ALU op, lea feeding a memory access, cmp/test
+   immediately followed by jcc, and push/pop spill pairs.  Emitting
+   them back to back makes the runs that [build_slots] folds. *)
+let gen_fused_pair r _lbl =
+  let w = pick r [| Insn.W32; Insn.W64 |] in
+  match int r 4 with
+  | 0 ->
+    let d = pick r gprs in
+    [ Insn.I (Insn.Mov (w, Insn.OReg d, Insn.OImm (imm r)));
+      Insn.I (Insn.Alu (pick r [| Insn.Add; Insn.Sub; Insn.And; Insn.Or;
+                                  Insn.Xor |],
+                        w, Insn.OReg d, Insn.OReg (pick r gprs))) ]
+  | 1 ->
+    let d = pick r gprs in
+    [ Insn.I (Insn.Lea (d, Insn.mem_base ~disp:(8 * int r 8) Reg.RDI));
+      Insn.I (Insn.Mov (Insn.W64, Insn.OReg (pick r gprs),
+                        Insn.OMem (Insn.mem_base d))) ]
+  | 2 ->
+    [ Insn.I (Insn.Push (Insn.OReg (pick r gprs)));
+      Insn.I (Insn.Pop (Insn.OReg (pick r gprs)));
+      Insn.I (Insn.Push (Insn.OReg (pick r gprs)));
+      Insn.I (Insn.Pop (Insn.OReg (pick r gprs))) ]
+  | _ ->
+    List.concat
+      (List.init (2 + int r 3) (fun _ ->
+           [ Insn.I (Insn.Alu (pick r [| Insn.Add; Insn.Sub; Insn.Xor |],
+                               w, Insn.OReg (pick r gprs),
+                               reg_or_imm_src r w)) ]))
+
+(* a register from the pool other than [avoid] *)
+let pick_other r avoid =
+  let g = ref (pick r gprs) in
+  while Reg.equal !g avoid do
+    g := pick r gprs
+  done;
+  !g
+
+(* a tight counted loop over a backedge: iteration counts sit above
+   the trace-promotion threshold so the superblock tier extends the
+   loop body across the backedge, unrolls it into a trace and takes
+   the side exit on the final iteration.  The body never writes the
+   counter, so termination is structural. *)
+let gen_loop r lbl =
+  let l = !lbl in
+  incr lbl;
+  let cnt = pick r gprs in
+  let iters = 6 + int r 20 in
+  let body =
+    List.concat
+      (List.init (1 + int r 3) (fun _ ->
+           let d = pick_other r cnt in
+           match int r 3 with
+           | 0 ->
+             [ Insn.I (Insn.Alu (pick r [| Insn.Add; Insn.Sub; Insn.Xor |],
+                                 Insn.W64, Insn.OReg d,
+                                 Insn.OReg (pick_other r cnt))) ]
+           | 1 ->
+             [ Insn.I (Insn.Mov (Insn.W64, Insn.OReg d,
+                                 Insn.OMem (mem_int r Insn.W64))) ]
+           | _ ->
+             [ Insn.I (Insn.Lea (d, Insn.mem_base ~disp:(int r 32) cnt)) ]))
+  in
+  [ Insn.I (Insn.Mov (Insn.W64, Insn.OReg cnt,
+                      Insn.OImm (Int64.of_int iters)));
+    Insn.L l ]
+  @ body
+  @ [ Insn.I (Insn.Unop (Insn.Dec, Insn.W64, Insn.OReg cnt));
+      Insn.I (Insn.Jcc (Insn.NE, Insn.Lbl l)) ]
+
+(** Generation profiles.  [Uniform] draws from the full ISA subset with
+    the historical weights; [Fusion] skews heavily toward adjacent
+    fusible pairs and tight backedge loops to stress the superblock
+    engine's mega-op fusion, trace extension and lazy-flag machinery. *)
+type profile = Uniform | Fusion
+
+let uniform_generators =
   [| (gen_alu, 16); (gen_mov, 14); (gen_lea, 6); (gen_shift, 14);
      (gen_unop, 6); (gen_test_cmp, 6); (gen_imul, 5); (gen_cmov_setcc, 8);
      (gen_push_pop, 3); (gen_cqo_cdq, 2); (gen_jcc, 6); (gen_sse_mov, 6);
      (gen_sse_arith, 8); (gen_sse_logic, 3); (gen_sse_misc, 5) |]
 
-let total_weight = Array.fold_left (fun a (_, w) -> a + w) 0 generators
+let fusion_generators =
+  [| (gen_fused_pair, 30); (gen_loop, 20); (gen_jcc, 12); (gen_alu, 8);
+     (gen_mov, 8); (gen_lea, 6); (gen_imul, 4); (gen_test_cmp, 4);
+     (gen_push_pop, 4); (gen_shift, 2); (gen_unop, 2) |]
 
-let gen_chunk r lbl =
+let generators_of = function
+  | Uniform -> uniform_generators
+  | Fusion -> fusion_generators
+
+let gen_chunk generators r lbl =
+  let total_weight = Array.fold_left (fun a (_, w) -> a + w) 0 generators in
   let k = ref (int r total_weight) in
   let res = ref [] in
   (try
@@ -318,13 +404,14 @@ let gen_float (r : rng) : float =
   | 4 -> -.float_of_int (int r 1_000_000)
   | _ -> Int64.to_float (next64 r) /. 65536.0
 
-let gen_case (r : rng) ~(max_len : int) : Oracle.case =
+let gen_case ?(profile = Uniform) (r : rng) ~(max_len : int) : Oracle.case =
+  let generators = generators_of profile in
   let lbl = ref 0 in
   let target = 3 + int r (max 1 (max_len - 3)) in
   let body = ref [] in
   let n = ref 0 in
   while !n < target do
-    let chunk = gen_chunk r lbl in
+    let chunk = gen_chunk generators r lbl in
     body := !body @ chunk;
     n := !n + List.length chunk
   done;
@@ -339,5 +426,6 @@ let gen_case (r : rng) ~(max_len : int) : Oracle.case =
 (** The case for campaign index [i] under base seed [seed] — each case
     gets an independent stream, so corpus replay and shrinking never
     perturb later cases. *)
-let case_of_seed ~(seed : int) ~(max_len : int) (i : int) : Oracle.case =
-  gen_case (make ((seed * 1_000_003) + i)) ~max_len
+let case_of_seed ?(profile = Uniform) ~(seed : int) ~(max_len : int) (i : int)
+    : Oracle.case =
+  gen_case ~profile (make ((seed * 1_000_003) + i)) ~max_len

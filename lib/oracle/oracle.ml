@@ -308,12 +308,12 @@ let synth_obs (cpu : Cpu.t) (scratch : int) : Bytes.t =
   done;
   Array.iteri
     (fun k r ->
-      Bytes.set_int64_le b (gpr_off + (8 * k)) cpu.Cpu.regs.(Reg.index r))
+      Bytes.set_int64_le b (gpr_off + (8 * k)) cpu.Cpu.regs.{Reg.index r})
     gpr_pool;
   Array.iteri
     (fun k x ->
-      Bytes.set_int64_le b (xmm_off + (16 * k)) cpu.Cpu.xlo.(x);
-      Bytes.set_int64_le b (xmm_off + (16 * k) + 8) cpu.Cpu.xhi.(x))
+      Bytes.set_int64_le b (xmm_off + (16 * k)) cpu.Cpu.xlo.{x};
+      Bytes.set_int64_le b (xmm_off + (16 * k) + 8) cpu.Cpu.xhi.{x})
     xmm_pool;
   let flag cc =
     match (cc : Insn.cc) with
@@ -345,16 +345,16 @@ let attribute (cc : compiled) (slot : int) : attribution option =
     List.iteri
       (fun i v ->
         match List.nth_opt Reg.arg_regs i with
-        | Some r -> cpu.Cpu.regs.(Reg.index r) <- v
+        | Some r -> cpu.Cpu.regs.{Reg.index r} <- v
         | None -> ())
       (int_args scratch cc);
     List.iteri
       (fun i v ->
-        cpu.Cpu.xlo.(i) <- Int64.bits_of_float v;
-        cpu.Cpu.xhi.(i) <- 0L)
+        cpu.Cpu.xlo.{i} <- Int64.bits_of_float v;
+        cpu.Cpu.xhi.{i} <- 0L)
       (float_args cc);
-    let sp = Int64.to_int cpu.Cpu.regs.(Reg.index Reg.RSP) land lnot 15 in
-    cpu.Cpu.regs.(Reg.index Reg.RSP) <- Int64.of_int (sp - 8);
+    let sp = Int64.to_int cpu.Cpu.regs.{Reg.index Reg.RSP} land lnot 15 in
+    cpu.Cpu.regs.{Reg.index Reg.RSP} <- Int64.of_int (sp - 8);
     Mem.write_u64 cpu.Cpu.mem (sp - 8) (Int64.of_int Cpu.stop_addr);
     cpu.Cpu.rip <- fn;
     let writers = Array.make scratch_size (-1, -1) in

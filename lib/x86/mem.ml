@@ -5,20 +5,34 @@ let page_bits = 12
 let page_size = 1 lsl page_bits
 let page_mask = page_size - 1
 
+(* Direct-mapped software TLB.  Hot loops alternate between code,
+   data-matrix and stack pages; a single-entry cache thrashes, and every
+   miss pays a Hashtbl lookup (hash + compare + [Some] allocation).  Eight
+   slots keyed by the low page-index bits make the steady state
+   allocation-free. *)
+let tlb_slots = 8
+
 type t = {
   pages : (int, Bytes.t) Hashtbl.t;
-  mutable last_idx : int;
-  mutable last_page : Bytes.t;
+  tlb_idx : int array; (* slot = idx land (tlb_slots - 1); -1 = empty *)
+  tlb_page : Bytes.t array;
 }
 
 let create () =
   let p0 = Bytes.make page_size '\000' in
   let pages = Hashtbl.create 64 in
   Hashtbl.replace pages 0 p0;
-  { pages; last_idx = 0; last_page = p0 }
+  let t =
+    { pages;
+      tlb_idx = Array.make tlb_slots (-1);
+      tlb_page = Array.make tlb_slots p0 }
+  in
+  t.tlb_idx.(0) <- 0;
+  t
 
 let page t idx =
-  if idx = t.last_idx then t.last_page
+  let slot = idx land (tlb_slots - 1) in
+  if Array.unsafe_get t.tlb_idx slot = idx then Array.unsafe_get t.tlb_page slot
   else begin
     let p =
       match Hashtbl.find_opt t.pages idx with
@@ -28,8 +42,8 @@ let page t idx =
         Hashtbl.replace t.pages idx p;
         p
     in
-    t.last_idx <- idx;
-    t.last_page <- p;
+    Array.unsafe_set t.tlb_idx slot idx;
+    Array.unsafe_set t.tlb_page slot p;
     p
   end
 
@@ -63,16 +77,20 @@ let write_u64 t a (v : int64) =
 let read_u32 t a =
   let off = a land page_mask in
   if off <= page_size - 4 then
-    Int32.to_int (Bytes.get_int32_le (page t (a lsr page_bits)) off)
-    land 0xFFFFFFFF
+    (* two 16-bit immediate reads: no Int32 boxing on the hot path *)
+    let p = page t (a lsr page_bits) in
+    Bytes.get_uint16_le p off lor (Bytes.get_uint16_le p (off + 2) lsl 16)
   else
     read_u8 t a lor (read_u8 t (a + 1) lsl 8) lor (read_u8 t (a + 2) lsl 16)
     lor (read_u8 t (a + 3) lsl 24)
 
 let write_u32 t a v =
   let off = a land page_mask in
-  if off <= page_size - 4 then
-    Bytes.set_int32_le (page t (a lsr page_bits)) off (Int32.of_int v)
+  if off <= page_size - 4 then begin
+    let p = page t (a lsr page_bits) in
+    Bytes.set_uint16_le p off (v land 0xFFFF);
+    Bytes.set_uint16_le p (off + 2) ((v lsr 16) land 0xFFFF)
+  end
   else
     for i = 0 to 3 do
       write_u8 t (a + i) ((v lsr (8 * i)) land 0xff)

@@ -253,6 +253,27 @@ let test_fuzz_smoke () =
   check Alcotest.bool "most cases ran" true
     (s.Driver.s_agreed > s.Driver.s_total / 2)
 
+(* same smoke, but weighted toward fusible adjacent pairs and tight
+   backedge loops, restricted to the two emulator tiers: the loops
+   cross the trace-promotion threshold, so this exercises mega-op
+   fusion, unrolled traces with side exits and lazy-flag deferral
+   against the single-step ground truth *)
+let test_fuzz_smoke_fusion () =
+  let cfg =
+    { Driver.default_config with
+      seeds = 60; seed = 2; profile = Gen.Fusion;
+      tiers = [ O.CpuStep; O.CpuSB ] }
+  in
+  let s = Driver.run_campaign cfg in
+  check Alcotest.int "all cases accounted for" 60 s.Driver.s_total;
+  (match s.Driver.s_failures with
+   | [] -> ()
+   | f :: _ ->
+     Alcotest.failf "fusion fuzz smoke found a divergence\n%s\nbody:\n%s"
+       (O.divergence_to_string f.Driver.f_div)
+       (O.body_listing f.Driver.f_case));
+  check Alcotest.int "every case ran on both tiers" 60 s.Driver.s_agreed
+
 let () =
   Alcotest.run "oracle"
     [ ("corpus", [ Alcotest.test_case "replay" `Quick test_corpus_replay ]);
@@ -279,4 +300,7 @@ let () =
       );
       ( "repro",
         [ Alcotest.test_case "round-trip" `Quick test_repro_roundtrip ] );
-      ("fuzz", [ Alcotest.test_case "smoke" `Slow test_fuzz_smoke ]) ]
+      ( "fuzz",
+        [ Alcotest.test_case "smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "fusion-weighted smoke" `Slow
+            test_fuzz_smoke_fusion ] ) ]

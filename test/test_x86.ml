@@ -487,6 +487,63 @@ let test_code_cache_invalidation () =
   check cbool "flushes counted" true
     ((Cpu.cache_stats cpu).Cpu.block_flushes >= 3)
 
+(* A block that follows an unconditional jump covers two disjoint byte
+   ranges; a range flush touching only the second range must still drop
+   it.  Regression test: the flush used to consider only the range
+   around the block entry, so patching the far side of the jump kept
+   executing stale code. *)
+let test_cross_range_invalidation () =
+  let img = fresh () in
+  let cpu = img.Image.cpu in
+  let items =
+    [ I (Jmp (Lbl 0)) ]
+    @ List.init 16 (fun _ -> I (Nop 1))
+    @ [ L 0; I (Mov (W64, OReg Reg.RAX, OImm 1L)); I Ret ]
+  in
+  let fn = Image.install_code img items in
+  let r, _ = Image.call img ~fn in
+  check ci64 "original code" 1L r;
+  (* address of the far side of the jump *)
+  let _, _, labels = Encode.assemble ~base:fn items in
+  let tail = Hashtbl.find labels 0 in
+  check cbool "jump leaves a gap" true (tail > fn + 16);
+  let patch_bytes, _, _ =
+    Encode.assemble ~base:tail
+      [ I (Mov (W64, OReg Reg.RAX, OImm 2L)); I Ret ]
+  in
+  Mem.write_bytes cpu.Cpu.mem tail patch_bytes;
+  let r_stale, _ = Image.call img ~fn in
+  check ci64 "stale block still cached" 1L r_stale;
+  (* flush only the far range — disjoint from the block's entry range *)
+  Cpu.flush_code ~range:(tail, tail + String.length patch_bytes) cpu;
+  let r2, _ = Image.call img ~fn in
+  check ci64 "cross-range flush drops the block" 2L r2
+
+(* ---------- trace promotion ---------- *)
+
+(* A tight self-loop executed past the promotion threshold must be
+   extended into an unrolled trace, and leaving the loop must take a
+   side exit; both are observable in the cache stats, and the result
+   must be unaffected. *)
+let test_trace_promotion () =
+  let img = fresh () in
+  let cpu = img.Image.cpu in
+  let fn =
+    Image.install_code img
+      [ I (Mov (W64, OReg Reg.RAX, OImm 0L));
+        I (Mov (W64, OReg Reg.RCX, OImm 100L));
+        L 0;
+        I (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RCX));
+        I (Alu (Sub, W64, OReg Reg.RCX, OImm 1L));
+        I (Jcc (NE, Lbl 0));
+        I Ret ]
+  in
+  let r, _ = Image.call ~engine:Cpu.Superblocks img ~fn in
+  check ci64 "sum 100..1" 5050L r;
+  let s = Cpu.cache_stats cpu in
+  check cbool "loop promoted to a trace" true (s.Cpu.traces_built >= 1);
+  check cbool "loop exit took a side exit" true (s.Cpu.trace_side_exits >= 1)
+
 (* ---------- differential: superblock engine vs single-step ---------- *)
 
 (* Everything observable about a finished run: registers, flags, SSE
@@ -502,7 +559,7 @@ type observation = {
   o_mem : string;
 }
 
-let observe engine (body : item list) : observation =
+let observe ?(iters = 3L) engine (body : item list) : observation =
   let img = fresh () in
   let cpu = img.Image.cpu in
   let arr =
@@ -517,10 +574,10 @@ let observe engine (body : item list) : observation =
         I Ret ]
   in
   let fn = Image.install_code img items in
-  ignore (Image.call ~engine img ~fn ~args:[ 3L; Int64.of_int arr ]);
-  { o_regs = Array.copy cpu.Cpu.regs;
-    o_xlo = Array.copy cpu.Cpu.xlo;
-    o_xhi = Array.copy cpu.Cpu.xhi;
+  ignore (Image.call ~engine img ~fn ~args:[ iters; Int64.of_int arr ]);
+  { o_regs = Array.init 16 (fun i -> cpu.Cpu.regs.{i});
+    o_xlo = Array.init 16 (fun i -> cpu.Cpu.xlo.{i});
+    o_xhi = Array.init 16 (fun i -> cpu.Cpu.xhi.{i});
     o_flags =
       (cpu.Cpu.zf, cpu.Cpu.sf, cpu.Cpu.cf, cpu.Cpu.o_f, cpu.Cpu.pf,
        cpu.Cpu.af);
@@ -592,6 +649,37 @@ let prop_engine_differential =
           (if a.o_regs = b.o_regs then "equal" else "DIFFER")
       else true)
 
+(* Same differential, but with the skeleton loop iterated past the
+   trace-promotion threshold: the superblock tier promotes the loop to
+   an unrolled trace mid-run, fuses body runs and defers flags, yet
+   every observable — including the simulated cycle and instruction
+   counts, which are part of the semantics — must stay bit-identical
+   to single-stepping. *)
+let prop_engine_differential_traced =
+  QCheck.Test.make ~count:100
+    ~name:"traced superblocks == single-step (cycles exact)"
+    (QCheck.make
+       ~print:(fun body ->
+         String.concat "; "
+           (List.map
+              (function I i -> Pp.insn i | L n -> Printf.sprintf "L%d:" n)
+              body))
+       QCheck.Gen.(
+         map
+           (fun l -> List.map (fun i -> I i) l)
+           (list_size (int_bound 12) gen_body_insn)))
+    (fun body ->
+      let a = observe ~iters:12L Cpu.Superblocks body in
+      let b = observe ~iters:12L Cpu.SingleStep body in
+      if a.o_cycles <> b.o_cycles || a.o_icount <> b.o_icount then
+        QCheck.Test.fail_reportf
+          "cost accounting diverges under traces: cycles %d vs %d, \
+           icount %d vs %d"
+          a.o_cycles b.o_cycles a.o_icount b.o_icount
+      else if a <> b then
+        QCheck.Test.fail_reportf "architectural state diverges under traces"
+      else true)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "x86"
@@ -617,5 +705,9 @@ let () =
       ("engine",
        [ Alcotest.test_case "cache invalidation" `Quick
            test_code_cache_invalidation;
-         qt prop_engine_differential ])
+         Alcotest.test_case "cross-range invalidation" `Quick
+           test_cross_range_invalidation;
+         Alcotest.test_case "trace promotion" `Quick test_trace_promotion;
+         qt prop_engine_differential;
+         qt prop_engine_differential_traced ])
     ]

@@ -12,8 +12,10 @@
    of silently producing unreadable artifacts.  The `compare`
    subcommand diffs two BENCH files row by row and exits nonzero when
    any row's wall time regressed by more than the tolerance (default
-   10%) — the first consumer of the cross-PR bench trajectory.  Uses a
-   small recursive-descent JSON parser to stay dependency-free. *)
+   10%) — the first consumer of the cross-PR bench trajectory.  It also
+   prints the aggregate emulated-MIPS delta, and `--tol-mips PCT` makes
+   a throughput drop beyond PCT a hard failure.  Uses a small
+   recursive-descent JSON parser to stay dependency-free. *)
 
 type json =
   | Null
@@ -187,10 +189,15 @@ let as_arr ctx = function
 (* Schemas                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let check_counts ctx v =
+(* Counter objects may nest one level (e.g. superblocks.fused_pairs is a
+   per-pattern breakdown); every leaf must be a non-negative integer. *)
+let rec check_counts ctx v =
   List.iter
     (fun (k, n) ->
-      if as_int (ctx ^ "." ^ k) n < 0 then fail "%s.%s: negative" ctx k)
+      let kctx = ctx ^ "." ^ k in
+      match n with
+      | Obj _ -> check_counts kctx n
+      | _ -> if as_int kctx n < 0 then fail "%s: negative" kctx)
     (as_obj ctx v)
 
 let check_bench path (j : json) =
@@ -340,7 +347,7 @@ let bench_rows ctx (j : json) : (string * (int * int)) list =
           as_int (rctx ^ ".cycles") (field rctx row "cycles") ) ))
     (as_obj (ctx ^ ".rows") (field ctx j "rows"))
 
-let compare_bench ~tol base_path cur_path =
+let compare_bench ~tol ~tol_mips base_path cur_path =
   let load p = parse (read_file p) in
   let base = load base_path and cur = load cur_path in
   let bctx = Filename.basename base_path in
@@ -373,8 +380,31 @@ let compare_bench ~tol base_path cur_path =
       if not (List.mem_assoc name brows) then
         Printf.printf "  %-28s new in current\n" name)
     crows;
+  (* Throughput gate: the aggregate emulated-MIPS figure is the PR
+     trajectory's headline metric, so compare always prints the delta and
+     --tol-mips turns a drop beyond the given percentage into a failure.
+     MIPS regressions are drops (current below baseline), unlike wall
+     time where regressions are increases. *)
+  let bmips = as_num (bctx ^ ".emulated_mips") (field bctx base "emulated_mips") in
+  let cmips = as_num (cctx ^ ".emulated_mips") (field cctx cur "emulated_mips") in
+  let dmips =
+    if bmips = 0.0 then 0.0 else 100.0 *. (cmips /. bmips -. 1.0)
+  in
+  Printf.printf "  %-28s %8.2f -> %8.2f  (%+.1f%%)\n" "emulated_mips" bmips
+    cmips dmips;
+  let mips_failed =
+    match tol_mips with
+    | Some t when -.dmips > t ->
+      Printf.eprintf
+        "FAIL %s: emulated_mips dropped %.1f%% (%.2f -> %.2f, tolerance \
+         %.0f%%)\n"
+        bsec (-.dmips) bmips cmips t;
+      true
+    | _ -> false
+  in
   match !regressions with
   | [] ->
+    if mips_failed then exit 1;
     Printf.printf "compare %s: OK (%d rows, tolerance %.0f%%)\n" bsec
       (List.length brows) tol
   | rs ->
@@ -391,7 +421,8 @@ let () =
     prerr_endline
       "usage: validate_bench [--trace FILE | --remarks FILE | --profile \
        FILE | BENCH_*.json] ...\n\
-      \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT]";
+      \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT] \
+       [--tol-mips PCT]";
     exit 2
   end;
   let failed = ref false in
@@ -407,11 +438,15 @@ let () =
   (match args with
    | "compare" :: rest ->
      let tol = ref 10.0 in
+     let tol_mips = ref None in
      let files = ref [] in
      let rec go = function
        | "--tol" :: t :: tl -> tol := float_of_string t; go tl
-       | "--tol" :: [] ->
-         prerr_endline "--tol needs a percentage argument";
+       | "--tol-mips" :: t :: tl ->
+         tol_mips := Some (float_of_string t);
+         go tl
+       | ("--tol" | "--tol-mips") :: [] ->
+         prerr_endline "--tol/--tol-mips need a percentage argument";
          exit 2
        | f :: tl -> files := f :: !files; go tl
        | [] -> ()
@@ -419,13 +454,13 @@ let () =
      go rest;
      (match List.rev !files with
       | [ base; cur ] -> (
-        try compare_bench ~tol:!tol base cur with
+        try compare_bench ~tol:!tol ~tol_mips:!tol_mips base cur with
         | Bad m -> Printf.eprintf "FAIL %s\n" m; exit 1
         | Sys_error m -> Printf.eprintf "FAIL %s\n" m; exit 1)
       | _ ->
         prerr_endline
           "usage: validate_bench compare BASELINE.json CURRENT.json \
-           [--tol PCT]";
+           [--tol PCT] [--tol-mips PCT]";
         exit 2)
    | _ ->
      let rec go = function
