@@ -108,8 +108,43 @@ let annotate_arg =
                each guest instruction with its surviving IR, optimizer \
                remarks and emitted host bytes.")
 
+let sentinel_arg =
+  Arg.(value & opt ~vopt:(Some "4/64") (some string) None
+       & info [ "sentinel" ] ~docv:"K/N"
+         ~doc:"Serve the kernel through the runtime sentinel: \
+               shadow-validate each of the first K serves and 1-in-N \
+               afterwards (default 4/64), quarantining, demoting and \
+               self-healing on divergence.")
+
+let requests_arg =
+  Arg.(value & opt int 16 & info [ "requests" ] ~docv:"N"
+         ~doc:"With --sentinel: number of kernel serves before the \
+               measured run (each serve may shadow-validate per the \
+               sampling policy).")
+
+let sentinel_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sentinel-json" ] ~docv:"FILE"
+         ~doc:"Write the sentinel counters (checks, divergences, \
+               quarantined, demotions, healed) as JSON to FILE; '-' \
+               for stdout.")
+
+let sentinel_out_arg =
+  Arg.(value & opt string "_bench/sentinel"
+       & info [ "sentinel-out" ] ~docv:"DIR"
+         ~doc:"Directory where the sentinel saves shrunk reproducers \
+               of quarantined kernels.")
+
+let verify_arg =
+  Arg.(value & flag & info [ "verify" ]
+         ~doc:"After the measured run, re-run with the Native kernel \
+               and require the final matrix to be bit-identical.")
+
 module Tel = Obrew_telemetry.Telemetry
 module Prov = Obrew_provenance.Provenance
+module Sen = Obrew_sentinel.Sentinel
+module SenH = Obrew_sentinel.Health
+module Srepro = Obrew_sentinel.Srepro
 
 let provenance_setup profile profile_out annotate remarks =
   if profile <> None || profile_out <> None || annotate <> None
@@ -230,31 +265,91 @@ let write_stats_json (env : Modes.env) (dest : string) =
 
 let stencil_cmd =
   let run sz iters kind style tr dump stats stats_json fallback max_insns
-      fault trace metrics profile profile_out annotate remarks =
+      fault trace metrics profile profile_out annotate remarks sentinel
+      requests sentinel_json sentinel_out verify =
     install_fault_plan fault;
     telemetry_setup trace metrics;
     provenance_setup profile profile_out annotate remarks;
     let env = Modes.build ~sz () in
     (try
        let kernel, used, dt =
-         if fallback then begin
-           let r = Modes.transform_safe env kind style tr in
-           List.iter
-             (fun (m, e) ->
-               Printf.eprintf "%s failed: %s\n" (Modes.transform_name m)
-                 (Err.to_string e))
-             r.Modes.failures;
-           (r.Modes.kernel, r.Modes.used, r.Modes.seconds)
-         end
-         else
-           let kernel, dt = Modes.transform env kind style tr in
-           (kernel, tr, dt)
+         match sentinel with
+         | Some spec ->
+           let bad () =
+             Printf.eprintf "bad --sentinel spec %S (want K/N)\n" spec;
+             exit 2
+           in
+           let first_k, sample_n =
+             match String.split_on_char '/' spec with
+             | [ k; n ] -> (
+               match (int_of_string_opt k, int_of_string_opt n) with
+               | Some k, Some n when k >= 0 && n >= 0 -> (k, n)
+               | _ -> bad ())
+             | _ -> bad ()
+           in
+           let policy =
+             { SenH.default_policy with SenH.first_k; sample_n }
+           in
+           Sen.log := prerr_endline;
+           let t0 = Unix.gettimeofday () in
+           let last = ref None in
+           for _ = 1 to max 1 requests do
+             last :=
+               Some (Sen.serve ~policy ~out_dir:sentinel_out env kind style tr)
+           done;
+           let sv = Option.get !last in
+           (sv.Sen.sv_kernel, sv.Sen.sv_mode, Unix.gettimeofday () -. t0)
+         | None ->
+           if fallback then begin
+             let r = Modes.transform_safe env kind style tr in
+             List.iter
+               (fun (m, e) ->
+                 Printf.eprintf "%s failed: %s\n" (Modes.transform_name m)
+                   (Err.to_string e))
+               r.Modes.failures;
+             (r.Modes.kernel, r.Modes.used, r.Modes.seconds)
+           end
+           else
+             let kernel, dt = Modes.transform env kind style tr in
+             (kernel, tr, dt)
        in
        let cycles, insns = Modes.run ?max_insns env kind style ~kernel ~iters in
        Printf.printf
          "%s %s %s: %d cycles, %d instructions, transform %.3f ms\n"
          (Modes.kind_name kind) (Modes.style_name style)
          (Modes.transform_name used) cycles insns (dt *. 1e3);
+       if verify then begin
+         let got = Modes.result_matrix env ~iters in
+         let native = Modes.native_addr env kind style in
+         ignore (Modes.run ?max_insns env kind style ~kernel:native ~iters);
+         let ref_m = Modes.result_matrix env ~iters in
+         let same =
+           Array.length got = Array.length ref_m
+           &&
+           let ok = ref true in
+           Array.iteri
+             (fun i v ->
+               if Int64.bits_of_float v <> Int64.bits_of_float ref_m.(i) then
+                 ok := false)
+             got;
+           !ok
+         in
+         if same then
+           Printf.printf "verify: final matrix bit-identical to Native (%d cells)\n"
+             (Array.length got)
+         else begin
+           Printf.eprintf "verify: final matrix DIFFERS from Native\n";
+           telemetry_finish trace metrics;
+           exit 1
+         end
+       end;
+       if sentinel <> None then print_endline (Sen.stats_to_string ());
+       (match sentinel_json with
+        | None -> ()
+        | Some "-" -> print_string (Sen.stats_json ())
+        | Some f ->
+          Sen.write_stats_json f;
+          Printf.eprintf "sentinel stats written to %s\n" f);
        if stats then print_stats env;
        (match stats_json with
         | Some dest -> write_stats_json env dest
@@ -282,7 +377,8 @@ let stencil_cmd =
           $ transform_arg $ dump_arg $ stats_arg $ stats_json_arg
           $ fallback_arg $ max_insns_arg $ fault_arg $ trace_arg
           $ metrics_arg $ profile_arg $ profile_out_arg $ annotate_arg
-          $ remarks_arg)
+          $ remarks_arg $ sentinel_arg $ requests_arg $ sentinel_json_arg
+          $ sentinel_out_arg $ verify_arg)
 
 let modes_cmd =
   let run sz iters style stats fault trace metrics =
@@ -419,8 +515,80 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Only print the summary.")
   in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"PATH"
+           ~doc:"Instead of a campaign, re-run persisted reproducers: \
+                 PATH is a .repro file or a directory of them.  Oracle \
+                 reproducers replay through every tier (per-tier \
+                 verdict); sentinel reproducers re-probe the captured \
+                 kernel bytes against the native reference.")
+  in
+  let replay_file tiers (f : string) : bool (* failed? *) =
+    let prefix =
+      try
+        let ic = open_in_bin f in
+        let n = min 256 (in_channel_length ic) in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      with Sys_error _ -> ""
+    in
+    let base = Filename.basename f in
+    if Srepro.looks_like_srepro prefix then
+      match Sen.replay f with
+      | Error e ->
+        Printf.printf "%-32s ERROR %s\n" base (Err.to_string e);
+        true
+      | Ok r ->
+        (* a quarantine capture that still trips the probe is a good
+           capture, not a regression — never a failure either way *)
+        Printf.printf "%-32s srepro %s/%s %s: %s\n" base r.Sen.rr_kind
+          r.Sen.rr_style r.Sen.rr_mode
+          (if r.Sen.rr_diverged then "still reproduces (" ^ r.Sen.rr_detail ^ ")"
+           else "no longer reproduces (" ^ r.Sen.rr_detail ^ ")");
+        false
+    else
+      match Obrew_oracle.Repro.load_result f with
+      | Error e ->
+        Printf.printf "%-32s ERROR %s\n" base (Err.to_string e);
+        true
+      | Ok r ->
+        let v = Obrew_oracle.Repro.replay ~tiers r in
+        List.iter
+          (fun (t, m) ->
+            Printf.printf "%-32s skip %s: %s\n" base (Or_.tier_name t) m)
+          v.Or_.v_skips;
+        (match v.Or_.v_div with
+         | Some d ->
+           Printf.printf "%-32s DIVERGENCE %s\n" base
+             (String.trim (Or_.divergence_to_string d));
+           true
+         | None ->
+           Printf.printf "%-32s ok (%d tier(s) agree)\n" base
+             (List.length v.Or_.v_ran);
+           false)
+  in
+  let run_replay tiers (path : string) =
+    let files =
+      if Sys.file_exists path && Sys.is_directory path then
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".repro")
+        |> List.sort compare
+        |> List.map (Filename.concat path)
+      else [ path ]
+    in
+    if files = [] then begin
+      Printf.eprintf "no .repro files under %s\n" path;
+      exit 2
+    end;
+    let failed = List.length (List.filter (replay_file tiers) files) in
+    Printf.printf "replayed %d reproducer(s), %d failure(s)\n"
+      (List.length files) failed;
+    if failed > 0 then exit 1
+  in
   let run seeds seed tiers max_len profile out max_failures quiet stats
-      trace metrics =
+      trace metrics replay =
     telemetry_setup trace metrics;
     if stats then Tel.enable ();
     let profile =
@@ -447,6 +615,12 @@ let fuzz_cmd =
       Printf.eprintf "need at least two tiers to compare\n";
       exit 2
     end;
+    (match replay with
+     | Some path ->
+       run_replay tiers path;
+       telemetry_finish trace metrics;
+       exit 0
+     | None -> ());
     let cfg =
       { Dr.seeds; seed; tiers; max_len; profile; out_dir = out;
         max_failures; log = (if quiet then ignore else prerr_endline) }
@@ -477,7 +651,7 @@ let fuzz_cmd =
              shrink any mismatch to a minimal reproducer.")
     Term.(const run $ seeds_arg $ seed_arg $ tiers_arg $ max_len_arg
           $ profile_arg $ out_arg $ max_failures_arg $ quiet_arg
-          $ stats_arg $ trace_arg $ metrics_arg)
+          $ stats_arg $ trace_arg $ metrics_arg $ replay_arg)
 
 let () =
   let doc = "optimized lightweight binary re-writing at runtime" in

@@ -25,6 +25,7 @@ let install_func (img : Image.t) (f : func) : int =
         Isel.emit_func_with_prov ~global_addr:(Image.lookup img)
           ~func_addr:(Image.lookup img) f
       in
+      let items = Sabotage.maybe_corrupt "sabotage.isel.item" items in
       let addr = Image.install_code ~name:f.fname ~dedup:true img items in
       let module Prov = Obrew_provenance.Provenance in
       if !Prov.enabled && not (Obrew_fault.Fault.active ()) then begin

@@ -180,7 +180,20 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       Some (transform_key env ~lift_config ~opt ~checked ~guards kind style t)
     else None
   in
-  match Option.bind key (Hashtbl.find_opt env.memo) with
+  (* a memoized kernel whose installed content was quarantined by the
+     sentinel must not be served again: drop the entry and recompile
+     (the install path re-checks content against the blacklist) *)
+  let served =
+    match Option.bind key (Hashtbl.find_opt env.memo) with
+    | Some addr as served -> (
+      match Image.digest_of_addr env.img addr with
+      | Some d when Obrew_fault.Quarantine.mem d ->
+        (match key with Some k -> Hashtbl.remove env.memo k | None -> ());
+        None
+      | _ -> served)
+    | None -> None
+  in
+  match served with
   | Some addr ->
     env.memo_hits <- env.memo_hits + 1;
     Tel.incr_c c_memo_hit;

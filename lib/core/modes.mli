@@ -79,7 +79,9 @@ val o3_opts : Obrew_opt.Pipeline.options
     (see {!memo_stats}); pass [use_memo:false] to force the full
     rewrite/lift/optimize pipeline, e.g. when measuring compile time.
     The memo is bypassed entirely while a fault-injection plan is
-    installed.
+    installed, and an entry whose installed content was quarantined by
+    the sentinel ({!Obrew_fault.Quarantine}) is dropped and recompiled
+    instead of served.
     @raise Obrew_fault.Err.Error when the mode cannot handle the
     kernel; the error carries the failing pipeline stage. *)
 val transform :

@@ -14,12 +14,20 @@ type t = {
   mutable dropped_passes : int;  (* optimizer passes dropped by run_checked *)
   by_stage : (Err.stage, int) Hashtbl.t; (* failures per pipeline stage *)
   by_mode : (string, int) Hashtbl.t;     (* landings per final mode *)
+  (* sentinel: shadow-validation outcomes (see Obrew_sentinel) *)
+  mutable sentinel_checks : int;       (* shadow validations performed *)
+  mutable sentinel_divergences : int;  (* validations that caught a bug *)
+  mutable sentinel_quarantined : int;  (* translations blacklisted *)
+  mutable sentinel_demotions : int;    (* serves re-pointed down the chain *)
+  mutable sentinel_healed : int;       (* requests restored to their tier *)
 }
 
 let stats =
   { safe_runs = 0; degraded = 0; attempts = 0; failures = 0;
     dropped_passes = 0; by_stage = Hashtbl.create 8;
-    by_mode = Hashtbl.create 8 }
+    by_mode = Hashtbl.create 8;
+    sentinel_checks = 0; sentinel_divergences = 0; sentinel_quarantined = 0;
+    sentinel_demotions = 0; sentinel_healed = 0 }
 
 let reset () =
   stats.safe_runs <- 0;
@@ -28,7 +36,12 @@ let reset () =
   stats.failures <- 0;
   stats.dropped_passes <- 0;
   Hashtbl.reset stats.by_stage;
-  Hashtbl.reset stats.by_mode
+  Hashtbl.reset stats.by_mode;
+  stats.sentinel_checks <- 0;
+  stats.sentinel_divergences <- 0;
+  stats.sentinel_quarantined <- 0;
+  stats.sentinel_demotions <- 0;
+  stats.sentinel_healed <- 0
 
 let bump tbl k =
   Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -44,6 +57,21 @@ let record_landing ~degraded mode =
   bump stats.by_mode mode
 
 let record_dropped n = stats.dropped_passes <- stats.dropped_passes + n
+
+let record_sentinel_check () =
+  stats.sentinel_checks <- stats.sentinel_checks + 1
+
+let record_sentinel_divergence () =
+  stats.sentinel_divergences <- stats.sentinel_divergences + 1
+
+let record_sentinel_quarantine () =
+  stats.sentinel_quarantined <- stats.sentinel_quarantined + 1
+
+let record_sentinel_demotion () =
+  stats.sentinel_demotions <- stats.sentinel_demotions + 1
+
+let record_sentinel_heal () =
+  stats.sentinel_healed <- stats.sentinel_healed + 1
 
 let to_string () =
   let b = Buffer.create 256 in
@@ -66,4 +94,12 @@ let to_string () =
     (fun (m, n) ->
       Buffer.add_string b (Printf.sprintf "  landed on %-10s %d\n" m n))
     (List.sort compare modes);
+  if stats.sentinel_checks > 0 || stats.sentinel_quarantined > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "sentinel: %d check(s), %d divergence(s), %d quarantined, \
+          %d demotion(s), %d healed\n"
+         stats.sentinel_checks stats.sentinel_divergences
+         stats.sentinel_quarantined stats.sentinel_demotions
+         stats.sentinel_healed);
   Buffer.contents b

@@ -115,7 +115,20 @@ let dbrew_rewrite ?(memo = true) (r : t) : int =
      under injection must never be remembered as a success. *)
   let memo = memo && not (Fault.active ()) in
   let key = if memo then Some (memo_key r) else None in
-  match Option.bind key (Hashtbl.find_opt memo_tbl) with
+  (* a memoized address whose installed content was quarantined since
+     must not be served again; drop it and rewrite from scratch (the
+     install path re-checks the content against the blacklist) *)
+  let served =
+    match Option.bind key (Hashtbl.find_opt memo_tbl) with
+    | Some (addr, _) as served -> (
+      match Image.digest_of_addr r.img addr with
+      | Some d when Obrew_fault.Quarantine.mem d ->
+        (match key with Some k -> Hashtbl.remove memo_tbl k | None -> ());
+        None
+      | _ -> served)
+    | None -> None
+  in
+  match served with
   | Some (addr, items) ->
     incr memo_hits;
     r.last_error <- None;
@@ -128,6 +141,7 @@ let dbrew_rewrite ?(memo = true) (r : t) : int =
         Rewriter.rewrite ~cfg:r.cfg ~mem:r.img.Image.cpu.Cpu.mem
           ~entry:r.entry
       in
+      let items = Sabotage.maybe_corrupt "sabotage.rewrite.item" items in
       (items, Image.install_code ~dedup:true r.img items)
     with
     | items, addr ->

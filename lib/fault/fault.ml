@@ -43,10 +43,23 @@ let known_points : (string * Err.stage) list =
     ("rewrite.emit", Err.Encode);
     ("emulate.scratch", Err.Emulate) ]
 
+(** Saboteur points: instead of raising, an armed hit silently corrupts
+    the stage's output (dropped store, inverted branch, flipped SSE op,
+    stomped entry byte).  They exist to drill the sentinel — the
+    corruption must be *caught* by shadow validation, not reported by
+    the pipeline — so they are kept out of {!known_points}, which plain
+    fallback-chain tests sweep expecting typed errors. *)
+let saboteur_points : (string * Err.stage) list =
+  [ ("sabotage.isel.item", Err.Isel);
+    ("sabotage.rewrite.item", Err.Encode);
+    ("sabotage.install.bytes", Err.Install) ]
+
+let all_points = known_points @ saboteur_points
 let point_names = List.map fst known_points
+let all_point_names = List.map fst all_points
 
 let stage_of_point name =
-  match List.assoc_opt name known_points with
+  match List.assoc_opt name all_points with
   | Some s -> s
   | None -> (
     (* unknown points are still classified by their prefix *)
@@ -66,23 +79,41 @@ let stage_of_point name =
 let current : plan ref = ref []
 let hit_counts : (string, int) Hashtbl.t = Hashtbl.create 32
 let fired_count = ref 0
+let sabotaged_count = ref 0
+let sabotage_landed_count = ref 0
 
 (** Install [p], replacing any previous plan and resetting counters. *)
 let install (p : plan) =
   current := p;
   Hashtbl.reset hit_counts;
-  fired_count := 0
+  fired_count := 0;
+  sabotaged_count := 0;
+  sabotage_landed_count := 0
 
 (** Remove the active plan; every point becomes a no-op again. *)
 let clear () = install []
 
 (** True while a plan with at least one arm is installed.  Memo caches
     use this to avoid recording (or serving) results produced under
-    injection. *)
+    injection — even after every scheduled fault has fired, since a
+    result computed mid-plan may mix clean and corrupted stages.  The
+    sentinel heals under an exhausted plan by recomputing without the
+    memos; the healed kernel is memoized on the first clean serve after
+    {!clear}. *)
 let active () = !current <> []
 
 (** Faults injected since the last {!install}. *)
 let fired () = !fired_count
+
+(** Saboteur arms that fired since the last {!install}. *)
+let sabotaged () = !sabotaged_count
+
+(** Saboteur firings that actually corrupted output (a fired arm is a
+    no-op when the stage had nothing corruptible); recorded by the
+    corrupting site via {!note_sabotage_landed}. *)
+let sabotage_landed () = !sabotage_landed_count
+
+let note_sabotage_landed () = incr sabotage_landed_count
 
 (** Times each point was reached since the last {!install} (armed or
     not — only recorded while a plan is active). *)
@@ -111,6 +142,32 @@ let point ?addr name =
                detail = "injected: fault at " ^ name })
       end)
 
+(** [sabotage name]: like {!point} but for saboteur arms — returns
+    [true] when the arm is due instead of raising, so the caller can
+    corrupt its output in place.  A cheap no-op without a plan. *)
+let sabotage name =
+  match !current with
+  | [] -> false
+  | plan -> (
+    Hashtbl.replace hit_counts name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts name));
+    match List.find_opt (fun a -> a.a_point = name) plan with
+    | None -> false
+    | Some a ->
+      if a.a_skip > 0 then begin
+        a.a_skip <- a.a_skip - 1;
+        false
+      end
+      else if a.a_fires <> 0 then begin
+        if a.a_fires > 0 then a.a_fires <- a.a_fires - 1;
+        incr fired_count;
+        incr sabotaged_count;
+        if !Obrew_telemetry.Telemetry.enabled then
+          Obrew_telemetry.Telemetry.instant "fault.sabotaged" ~args:name;
+        true
+      end
+      else false)
+
 (* ------------------------------------------------------------------ *)
 (* Plan syntax (CLI)                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -138,11 +195,11 @@ let parse (s : string) : (plan, string) result =
     (fun acc spec ->
       Result.bind acc (fun arms ->
           Result.bind (parse_arm spec) (fun a ->
-              if List.mem_assoc a.a_point known_points then Ok (a :: arms)
+              if List.mem_assoc a.a_point all_points then Ok (a :: arms)
               else
                 Error
                   (Printf.sprintf "unknown injection point %S (known: %s)"
-                     a.a_point (String.concat ", " point_names)))))
+                     a.a_point (String.concat ", " all_point_names)))))
     (Ok []) specs
   |> Result.map List.rev
 

@@ -20,6 +20,12 @@ type t = {
   (** DBrew trace-point variant budget *)
   rewrite_max_seconds : float;
   (** DBrew wall-clock deadline for one rewrite *)
+  heal_max_attempts : int;
+  (** sentinel: recompilation retries after a quarantine *)
+  heal_backoff_base : int;
+  (** sentinel: first retry delay, in sentinel ticks (serves) *)
+  heal_backoff_cap : int;
+  (** sentinel: ceiling for the exponential retry delay, in ticks *)
 }
 
 let default =
@@ -29,7 +35,10 @@ let default =
     opt_fuel = 12;
     rewrite_max_emit = 20_000;
     rewrite_max_variants = 256;
-    rewrite_max_seconds = 10.0 }
+    rewrite_max_seconds = 10.0;
+    heal_max_attempts = 3;
+    heal_backoff_base = 8;
+    heal_backoff_cap = 256 }
 
 (** Tight budgets for tests and smoke runs. *)
 let strict =
@@ -39,4 +48,7 @@ let strict =
     opt_fuel = 8;
     rewrite_max_emit = 5_000;
     rewrite_max_variants = 64;
-    rewrite_max_seconds = 2.0 }
+    rewrite_max_seconds = 2.0;
+    heal_max_attempts = 2;
+    heal_backoff_base = 2;
+    heal_backoff_cap = 16 }

@@ -245,7 +245,7 @@ let run_ir ~(optimize : bool) (cc : compiled) : obs =
     match rv with
     | Some (Interp.I v) -> v
     | Some (Interp.P a) -> Int64.of_int a
-    | _ -> raise (Interp.Interp_error "oracle: non-integer return value")
+    | _ -> Err.fail Err.Emulate "oracle: non-integer return value"
   in
   read_obs img scratch ret
 
@@ -473,6 +473,13 @@ let run ?tiers (c : case) : verdict =
     Tel.incr_c c_cases;
     Tel.incr_c c_skipped;
     { v_ran = []; v_skips = [ (CpuStep, "unencodable: " ^ msg) ]; v_div = None }
+  | exception Err.Error e ->
+    (* typed failures during case setup (e.g. a quarantined install on
+       the shared path) are whole-case skips too: in-process sentinel
+       checks must never crash the host *)
+    Tel.incr_c c_cases;
+    Tel.incr_c c_skipped;
+    { v_ran = []; v_skips = [ (CpuStep, Err.to_string e) ]; v_div = None }
 
 let diverged (v : verdict) : bool = v.v_div <> None
 

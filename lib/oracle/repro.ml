@@ -200,6 +200,19 @@ let load (path : string) : t =
   close_in ic;
   of_string s
 
+(** Exception-free loader for in-process replay ([fuzz --replay], the
+    sentinel): I/O and syntax failures come back as typed errors
+    instead of escaping into the host. *)
+let load_result (path : string) : (t, Obrew_fault.Err.t) result =
+  match load path with
+  | r -> Ok r
+  | exception Sys_error m ->
+    Error (Obrew_fault.Err.make Obrew_fault.Err.Install ("repro load: " ^ m))
+  | exception Parse_error m ->
+    Error (Obrew_fault.Err.make Obrew_fault.Err.Decode ("repro parse: " ^ m))
+  | exception exn ->
+    Error (Obrew_fault.Err.of_exn ~stage:Obrew_fault.Err.Decode exn)
+
 (** Replay a reproducer through [tiers]; the verdict's divergence is
     [None] when all tiers agree. *)
 let replay ?tiers (r : t) : Oracle.verdict =

@@ -173,6 +173,45 @@ let pass_state ~check st ~budget (c : O.case) : O.case =
     try_ { !cur with O.mem = String.make O.data_size '\000' };
   !cur
 
+(** Windowed delta-debugging over a bare item list — the structural
+    pass of {!minimize} for inputs with no [O.case] wrapping, used by
+    the sentinel to shrink a diverging kernel before persisting it.
+    [check] must hold of [items] itself; label well-formedness is
+    preserved.  Returns the reduced list and the predicate evaluations
+    spent. *)
+let minimize_items ?(budget = 200) ~(check : Insn.item list -> bool)
+    (items : Insn.item list) : Insn.item list * int =
+  let st = { checks = 0; accepted = 0 } in
+  let check_items its =
+    if st.checks >= budget then false
+    else begin
+      st.checks <- st.checks + 1;
+      Tel.incr_c c_shrink_steps;
+      check its
+    end
+  in
+  let cur = ref items in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let n = List.length !cur in
+    let win = ref (max 1 (n / 2)) in
+    while !win >= 1 do
+      let at = ref 0 in
+      while !at + !win <= List.length !cur do
+        let cand = drop_window !cur !at !win in
+        if labels_ok cand && cand <> !cur && check_items cand then begin
+          cur := cand;
+          st.accepted <- st.accepted + 1;
+          continue_ := true
+        end
+        else at := !at + 1
+      done;
+      win := !win / 2
+    done
+  done;
+  (!cur, st.checks)
+
 (** Minimize [c] while [check] keeps holding.  [check] must be true of
     [c] itself.  Returns the reduced case and the number of predicate
     evaluations spent. *)

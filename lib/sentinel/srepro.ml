@@ -1,0 +1,128 @@
+(** Persistent sentinel reproducers: a sibling of the oracle's
+    [.repro] format for kernels caught diverging at runtime.  Where an
+    oracle reproducer stores a self-contained generated case, a
+    sentinel reproducer stores the *installed host bytes* of the broken
+    kernel plus the request that produced it (kind/style/mode/matrix
+    size), which is everything needed to rebuild the workload and probe
+    the bytes against the native reference.
+
+    Grammar (s-expressions, shared lexer with {!Obrew_oracle.Repro}):
+    {v
+    (srepro
+      (name q-000001)
+      (mode DBrew+LLVM)             ; transform that produced the code
+      (kind flat) (style element)
+      (sz 9)
+      (digest "d41d8cd9...")        ; MD5 of the original install
+      (code "4889...")              ; kernel host bytes, hex
+      (note "free text, ignored"))
+    v} *)
+
+module R = Obrew_oracle.Repro
+
+type t = {
+  s_name : string;
+  s_mode : string;   (* Modes.transform_name of the producing mode *)
+  s_kind : string;   (* Modes.kind_name *)
+  s_style : string;  (* Modes.style_name *)
+  s_sz : int;        (* workload matrix side length *)
+  s_digest : string; (* Digest.t (raw) of the originally installed bytes *)
+  s_code : string;   (* kernel host bytes (possibly shrunk) *)
+  s_note : string;
+}
+
+let to_string (r : t) : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "(srepro\n";
+  Buffer.add_string b (Printf.sprintf "  (name %s)\n" r.s_name);
+  Buffer.add_string b (Printf.sprintf "  (mode %s)\n" r.s_mode);
+  Buffer.add_string b
+    (Printf.sprintf "  (kind %s) (style %s)\n" r.s_kind r.s_style);
+  Buffer.add_string b (Printf.sprintf "  (sz %d)\n" r.s_sz);
+  Buffer.add_string b
+    (Printf.sprintf "  (digest \"%s\")\n" (Digest.to_hex r.s_digest));
+  Buffer.add_string b
+    (Printf.sprintf "  (code \"%s\")\n" (R.hex_of_string r.s_code));
+  if r.s_note <> "" then begin
+    (* the reader's lexer maps [\c] to [c], so both the quote and the
+       backslash itself must be escaped on the way out *)
+    let esc = Buffer.create (String.length r.s_note + 8) in
+    String.iter
+      (fun c ->
+        (match c with '"' | '\\' -> Buffer.add_char esc '\\' | _ -> ());
+        Buffer.add_char esc c)
+      r.s_note;
+    Buffer.add_string b
+      (Printf.sprintf "  (note \"%s\")\n" (Buffer.contents esc))
+  end;
+  Buffer.add_string b ")\n";
+  Buffer.contents b
+
+let of_string (s : string) : t =
+  match R.parse s with
+  | R.List (R.Atom "srepro" :: fields) ->
+    let str_field k ~default =
+      match R.field fields k with
+      | Some (R.Str v) -> v
+      | Some (R.Atom v) -> v
+      | _ -> default
+    in
+    let int_field k ~default =
+      match int_of_string_opt (str_field k ~default:"") with
+      | Some v -> v
+      | None -> default
+    in
+    let code = R.string_of_hex (str_field "code" ~default:"") in
+    if code = "" then raise (R.Parse_error "empty code");
+    let digest_hex = str_field "digest" ~default:"" in
+    let digest =
+      try Digest.from_hex digest_hex
+      with Invalid_argument _ ->
+        raise (R.Parse_error ("bad digest: " ^ digest_hex))
+    in
+    { s_name = str_field "name" ~default:"unnamed";
+      s_mode = str_field "mode" ~default:"?";
+      s_kind = str_field "kind" ~default:"flat";
+      s_style = str_field "style" ~default:"element";
+      s_sz = int_field "sz" ~default:9;
+      s_digest = digest;
+      s_code = code;
+      s_note = str_field "note" ~default:"" }
+  | _ -> raise (R.Parse_error "expected (srepro ...)")
+
+let save (path : string) (r : t) : unit =
+  let oc = open_out path in
+  output_string oc (to_string r);
+  close_out oc
+
+let load (path : string) : t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s
+
+(** Exception-free loader; mirrors {!Obrew_oracle.Repro.load_result}. *)
+let load_result (path : string) : (t, Obrew_fault.Err.t) result =
+  match load path with
+  | r -> Ok r
+  | exception Sys_error m ->
+    Error (Obrew_fault.Err.make Obrew_fault.Err.Install ("srepro load: " ^ m))
+  | exception R.Parse_error m ->
+    Error (Obrew_fault.Err.make Obrew_fault.Err.Decode ("srepro parse: " ^ m))
+  | exception exn ->
+    Error (Obrew_fault.Err.of_exn ~stage:Obrew_fault.Err.Decode exn)
+
+(** Cheap format sniff so [fuzz --replay] can dispatch a file to the
+    right loader without parsing twice. *)
+let looks_like_srepro (content_prefix : string) : bool =
+  let rec first_nonspace i =
+    if i >= String.length content_prefix then ""
+    else
+      match content_prefix.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> first_nonspace (i + 1)
+      | _ ->
+        String.sub content_prefix i
+          (min 7 (String.length content_prefix - i))
+  in
+  first_nonspace 0 = "(srepro"

@@ -358,6 +358,29 @@ let materialize cpu =
     set_szp cpu w r;
     cpu.cf <- ovf; cpu.o_f <- ovf; cpu.af <- false
 
+(** Deep-copy the architectural state (registers, flags, segment bases,
+    memory) into a fresh CPU for shadow execution.  Pending lazy flags
+    are materialized first so the copy needs no [flbuf] transfer.
+    Translation caches and statistics start cold — the fork shares no
+    mutable structure with the original, so either side can run and
+    write freely without the other observing it. *)
+let fork (cpu : t) : t =
+  materialize cpu;
+  let c = { (create ~cost:cpu.cost ()) with mem = Mem.clone cpu.mem } in
+  A1.blit cpu.regs c.regs;
+  A1.blit cpu.xlo c.xlo;
+  A1.blit cpu.xhi c.xhi;
+  c.rip <- cpu.rip;
+  c.zf <- cpu.zf;
+  c.sf <- cpu.sf;
+  c.cf <- cpu.cf;
+  c.o_f <- cpu.o_f;
+  c.pf <- cpu.pf;
+  c.af <- cpu.af;
+  c.fs_base <- cpu.fs_base;
+  c.gs_base <- cpu.gs_base;
+  c
+
 let cond cpu c =
   materialize cpu;
   match c with

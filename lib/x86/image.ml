@@ -10,6 +10,8 @@ type t = {
   symbols : (string, int) Hashtbl.t;
   mutable stack_top : int;
   code_memo : (string, int) Hashtbl.t; (* item-digest -> installed addr *)
+  code_digests : (int, string * int) Hashtbl.t;
+  (* addr -> (digest, length) of the installed host bytes *)
   mutable install_hits : int;
   mutable install_misses : int;
 }
@@ -27,10 +29,24 @@ let create ?cost () =
   let t =
     { uid = !next_uid; cpu; next_code = code_base; next_data = data_base;
       symbols = Hashtbl.create 32; stack_top = stack_base;
-      code_memo = Hashtbl.create 64; install_hits = 0; install_misses = 0 }
+      code_memo = Hashtbl.create 64; code_digests = Hashtbl.create 64;
+      install_hits = 0; install_misses = 0 }
   in
   Cpu.set_reg cpu Insn.W64 Reg.RSP (Int64.of_int stack_base);
   t
+
+(** Deep copy of the whole image — CPU state, memory, symbols and
+    install caches — for the sentinel's shadow runs.  The fork gets a
+    fresh [uid] so memo keys derived from it never collide with the
+    original's. *)
+let fork (t : t) : t =
+  incr next_uid;
+  { t with
+    uid = !next_uid;
+    cpu = Cpu.fork t.cpu;
+    symbols = Hashtbl.copy t.symbols;
+    code_memo = Hashtbl.copy t.code_memo;
+    code_digests = Hashtbl.copy t.code_digests }
 
 let align_up v a = (v + a - 1) land lnot (a - 1)
 
@@ -59,7 +75,13 @@ let lookup t name =
 
     With [dedup] the install is content-addressed: if the exact same
     item sequence was installed before, its address is reused (and
-    re-bound to [name]) instead of emitting a duplicate copy. *)
+    re-bound to [name]) instead of emitting a duplicate copy.
+
+    Quarantine: the digest of the final host bytes is checked against
+    {!Obrew_fault.Quarantine} — blacklisted content is refused with a
+    typed [Install] error (both on a fresh install and on a dedup hit
+    whose recorded digest was quarantined since), so a deterministic
+    recompilation of broken code cannot be served again. *)
 let install_code ?name ?(dedup = false) t (items : Insn.item list) =
   Obrew_fault.Fault.point "install.code";
   (* content-addressing is a memo: while fault injection is live it
@@ -69,7 +91,20 @@ let install_code ?name ?(dedup = false) t (items : Insn.item list) =
   let key =
     if dedup then Some (Digest.string (Marshal.to_string items [])) else None
   in
-  match Option.bind key (Hashtbl.find_opt t.code_memo) with
+  let quarantined addr =
+    match Hashtbl.find_opt t.code_digests addr with
+    | Some (d, _) -> Obrew_fault.Quarantine.mem d
+    | None -> false
+  in
+  let served =
+    match Option.bind key (Hashtbl.find_opt t.code_memo) with
+    | Some addr when quarantined addr ->
+      (* drop the entry; re-encoding below re-checks the content *)
+      (match key with Some k -> Hashtbl.remove t.code_memo k | None -> ());
+      None
+    | served -> served
+  in
+  match served with
   | Some addr ->
     t.install_hits <- t.install_hits + 1;
     (match name with Some n -> define t n addr | None -> ());
@@ -78,21 +113,52 @@ let install_code ?name ?(dedup = false) t (items : Insn.item list) =
     t.install_misses <- t.install_misses + 1;
     let base = align_up t.next_code 16 in
     let bytes, _, _ = Encode.assemble ~base items in
+    let bytes =
+      if Obrew_fault.Fault.sabotage "sabotage.install.bytes" then
+        match Sabotage.corrupt_bytes bytes with
+        | Some bytes' ->
+          Obrew_fault.Fault.note_sabotage_landed ();
+          bytes'
+        | None -> bytes
+      else bytes
+    in
+    let digest = Digest.string bytes in
+    if Obrew_fault.Quarantine.mem digest then begin
+      Obrew_fault.Quarantine.note_blocked ();
+      Obrew_fault.Err.fail Obrew_fault.Err.Install
+        "quarantined translation %s refused" (Digest.to_hex digest)
+    end;
     Mem.write_bytes t.cpu.Cpu.mem base bytes;
     t.next_code <- base + String.length bytes;
     Cpu.flush_code ~range:(base, t.next_code) t.cpu;
     (match name with Some n -> define t n base | None -> ());
     (match key with Some k -> Hashtbl.replace t.code_memo k base | None -> ());
+    Hashtbl.replace t.code_digests base (digest, String.length bytes);
     base
 
-(** Raw code bytes (e.g. produced by re-encoding a DBrew result). *)
+(** Raw code bytes (e.g. produced by re-encoding a DBrew result, or
+    replayed from a sentinel reproducer — hence no quarantine check:
+    replay must be able to reinstall blacklisted content on a fork). *)
 let install_bytes ?name t (bytes : string) =
   let base = align_up t.next_code 16 in
   Mem.write_bytes t.cpu.Cpu.mem base bytes;
   t.next_code <- base + String.length bytes;
   Cpu.flush_code ~range:(base, t.next_code) t.cpu;
   (match name with Some n -> define t n base | None -> ());
+  Hashtbl.replace t.code_digests base (Digest.string bytes, String.length bytes);
   base
+
+(** Digest of the host bytes installed at [addr], when [addr] is the
+    entry of a recorded install. *)
+let digest_of_addr t addr =
+  Option.map fst (Hashtbl.find_opt t.code_digests addr)
+
+(** The exact host bytes installed at [addr] (read back from emulated
+    memory), when [addr] is the entry of a recorded install. *)
+let installed_bytes t addr =
+  Option.map
+    (fun (_, len) -> Mem.read_bytes t.cpu.Cpu.mem addr len)
+    (Hashtbl.find_opt t.code_digests addr)
 
 (** Store a list of doubles into fresh data memory; returns address. *)
 let alloc_f64_array ?(align = 16) t (vs : float array) =

@@ -12,6 +12,8 @@ type t = {
   mutable stack_top : int;
   code_memo : (string, int) Hashtbl.t;
   (** content-addressed install cache: item-list digest -> address *)
+  code_digests : (int, string * int) Hashtbl.t;
+  (** entry address -> (digest, length) of the installed host bytes *)
   mutable install_hits : int;
   mutable install_misses : int;
 }
@@ -23,6 +25,11 @@ val stack_size : int
 
 (** Fresh image with an empty address space and the stack pointer set. *)
 val create : ?cost:Cost.t -> unit -> t
+
+(** Deep copy (CPU, memory, symbols, install caches) with a fresh
+    [uid], for the sentinel's shadow runs: either side can run and
+    write without the other observing it. *)
+val fork : t -> t
 
 (** Reserve [size] zeroed data bytes with the given alignment. *)
 val alloc_data : ?align:int -> t -> int -> int
@@ -39,11 +46,21 @@ val lookup : t -> string -> int
     written range and return the entry address (recorded under [name]
     if given).  [dedup] makes the install content-addressed: an
     identical item sequence installed earlier is reused instead of
-    duplicated. *)
+    duplicated.  Content whose byte digest is listed in
+    {!Obrew_fault.Quarantine} is refused with a typed [Install] error. *)
 val install_code : ?name:string -> ?dedup:bool -> t -> Insn.item list -> int
 
-(** Install raw machine-code bytes. *)
+(** Install raw machine-code bytes (no quarantine check: sentinel
+    reproducer replay must be able to reinstall blacklisted content). *)
 val install_bytes : ?name:string -> t -> string -> int
+
+(** Digest of the host bytes installed at [addr], when [addr] is the
+    entry address of a recorded install. *)
+val digest_of_addr : t -> int -> string option
+
+(** The exact host bytes installed at [addr] (read back from emulated
+    memory), when [addr] is the entry of a recorded install. *)
+val installed_bytes : t -> int -> string option
 
 (** Write float / int64 arrays into fresh data memory. *)
 val alloc_f64_array : ?align:int -> t -> float array -> int

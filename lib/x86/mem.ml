@@ -30,6 +30,28 @@ let create () =
   t.tlb_idx.(0) <- 0;
   t
 
+(** Deep copy for shadow execution: every allocated page is duplicated
+    and the clone starts with a cold TLB, so neither side can observe
+    writes made through the other. *)
+let clone t =
+  let pages = Hashtbl.create (max 64 (Hashtbl.length t.pages)) in
+  Hashtbl.iter (fun idx p -> Hashtbl.replace pages idx (Bytes.copy p)) t.pages;
+  let p0 =
+    match Hashtbl.find_opt pages 0 with
+    | Some p -> p
+    | None ->
+      let p = Bytes.make page_size '\000' in
+      Hashtbl.replace pages 0 p;
+      p
+  in
+  let c =
+    { pages;
+      tlb_idx = Array.make tlb_slots (-1);
+      tlb_page = Array.make tlb_slots p0 }
+  in
+  c.tlb_idx.(0) <- 0;
+  c
+
 let page t idx =
   let slot = idx land (tlb_slots - 1) in
   if Array.unsafe_get t.tlb_idx slot = idx then Array.unsafe_get t.tlb_page slot

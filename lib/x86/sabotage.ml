@@ -1,0 +1,82 @@
+(** Saboteur corruptions: small, deterministic mutations of generated
+    code used to drill the runtime sentinel.  Unlike {!Obrew_fault}'s
+    regular injection points, nothing is raised — the broken code is
+    installed and must be caught by shadow validation downstream.
+
+    The mutations are chosen to be *always observable* under the
+    sentinel's nonzero probe state: dropping the last store, inverting
+    the last conditional branch, or flipping the last SSE arithmetic
+    op each changes the kernel's written output (or traps the probe
+    watchdog), never just unobservable scratch state. *)
+
+open Insn
+
+let is_store = function
+  | I (Mov (_, OMem _, _)) -> true
+  | I (SseMov (_, Xm _, _)) -> true
+  | _ -> false
+
+let is_jcc = function I (Jcc _) -> true | _ -> false
+let is_flippable_arith = function
+  | I (SseArith ((FAdd | FSub | FMul | FDiv | FMin | FMax), _, _, _)) -> true
+  | _ -> false
+
+let flip_arith = function
+  | FAdd -> FSub | FSub -> FAdd
+  | FMul -> FDiv | FDiv -> FMul
+  | FMin -> FMax | FMax -> FMin
+  | FSqrt -> FSqrt
+
+let last_index p items =
+  let r = ref (-1) in
+  List.iteri (fun i it -> if p it then r := i) items;
+  !r
+
+(** Corrupt [items] by priority: delete the last store, else invert the
+    last [Jcc], else flip the last SSE arithmetic op.  [None] when the
+    list offers nothing corruptible (the saboteur "missed"). *)
+let corrupt_items (items : item list) : item list option =
+  let del = last_index is_store items in
+  if del >= 0 then
+    Some (List.filteri (fun i _ -> i <> del) items)
+  else
+    let jcc = last_index is_jcc items in
+    if jcc >= 0 then
+      Some
+        (List.mapi
+           (fun i it ->
+             match it with
+             | I (Jcc (c, t)) when i = jcc -> I (Jcc (cc_negate c, t))
+             | it -> it)
+           items)
+    else
+      let ar = last_index is_flippable_arith items in
+      if ar >= 0 then
+        Some
+          (List.mapi
+             (fun i it ->
+               match it with
+               | I (SseArith (op, p, d, s)) when i = ar ->
+                 I (SseArith (flip_arith op, p, d, s))
+               | it -> it)
+             items)
+      else None
+
+(** Stomp the entry byte to [ret] (0xC3): the kernel becomes a no-op,
+    which the probe always catches because correct kernels write.
+    [None] when the bytes are empty or already start with [ret]. *)
+let corrupt_bytes (bytes : string) : string option =
+  if String.length bytes = 0 || bytes.[0] = '\xC3' then None
+  else Some ("\xC3" ^ String.sub bytes 1 (String.length bytes - 1))
+
+(** [maybe_corrupt point items]: consult the fault plan's saboteur arm
+    for [point]; when it fires and a mutation lands, record it and
+    return the corrupted list. *)
+let maybe_corrupt point (items : item list) : item list =
+  if Obrew_fault.Fault.sabotage point then
+    match corrupt_items items with
+    | Some items' ->
+      Obrew_fault.Fault.note_sabotage_landed ();
+      items'
+    | None -> items
+  else items

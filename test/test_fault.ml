@@ -12,6 +12,8 @@
 
 open Obrew_core
 open Obrew_fault
+module Sen = Obrew_sentinel.Sentinel
+module H = Obrew_sentinel.Health
 
 let sz = 9
 let iters = 2
@@ -87,7 +89,25 @@ let test_stage_mapping () =
         (Printf.sprintf "stage of %s" p)
         (Err.stage_name st)
         (Err.stage_name (Fault.stage_of_point p)))
-    Fault.known_points
+    Fault.all_points
+
+(* ------------------------------------------------------------------ *)
+(* Campaign coverage                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* union of every injection point reached while a plan was live, across
+   the whole campaign (QCheck property + deterministic sweep); the
+   final test asserts nothing registered went unexercised *)
+let covered : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let note_coverage () =
+  List.iter (fun (p, _) -> Hashtbl.replace covered p ()) (Fault.hits ())
+
+(* dense sentinel policy: every serve validates, heal retries almost
+   immediately — keeps the campaign deterministic and fast *)
+let sentinel_policy =
+  { H.first_k = 4; sample_n = 2; suspect_n = 2; decay_streak = 2;
+    heal_max = 3; heal_base = 1; heal_cap = 2 }
 
 (* ------------------------------------------------------------------ *)
 (* The property: transform_safe is total and correct under injection   *)
@@ -96,7 +116,7 @@ let test_stage_mapping () =
 let gen_case =
   QCheck2.Gen.(
     let gen_arm =
-      let* p = oneofl (List.map fst Fault.known_points) in
+      let* p = oneofl Fault.all_point_names in
       let* skip = int_bound 2 in
       let* fires = oneofl [ -1; 1; 2 ] in
       return (p, skip, fires)
@@ -105,32 +125,52 @@ let gen_case =
       (list_size (int_bound 3) gen_arm)
       (oneofl kinds) (oneofl styles) (oneofl transforms))
 
+(* Serve through the sentinel while the plan is live, then clear the
+   plan and keep serving: any corrupted kernel that slipped into
+   service while the probes themselves were being injected is caught
+   by the now-clean shadow checks, demoted and healed.  The final
+   served kernel must always compute the native result bit-for-bit. *)
 let prop_safe =
-  QCheck2.Test.make ~name:"transform_safe total under injection"
+  QCheck2.Test.make ~name:"sentinel serve total and correct under injection"
     ~count:500 gen_case (fun (arms, kind, style, tr) ->
       let env = Lazy.force shared in
       let want = reference kind style in
+      Sen.reset ();
+      Quarantine.clear ();
       Fault.install
         (List.map (fun (p, skip, fires) -> Fault.arm ~skip ~fires p) arms);
+      let serve () = Sen.serve ~policy:sentinel_policy env kind style tr in
       let r =
-        match Modes.transform_safe env kind style tr with
-        | r -> Ok r
+        match
+          for _ = 1 to 6 do
+            ignore (serve ())
+          done
+        with
+        | () -> Ok ()
         | exception exn -> Error exn
       in
+      note_coverage ();
       Fault.clear ();
       match r with
       | Error exn ->
-        QCheck2.Test.fail_reportf "transform_safe raised %s"
+        QCheck2.Test.fail_reportf "serve raised under injection: %s"
           (Printexc.to_string exn)
-      | Ok r ->
+      | Ok () ->
+        (* fault source gone: the sentinel must converge on a clean
+           kernel within a few serves (detect + backoff + heal) *)
+        let last = ref (serve ()) in
+        for _ = 1 to 9 do
+          last := serve ()
+        done;
+        let sv = !last in
         (match
            Modes.run ~max_insns:50_000_000 env kind style
-             ~kernel:r.Modes.kernel ~iters
+             ~kernel:sv.Sen.sv_kernel ~iters
          with
          | _ -> ()
          | exception exn ->
            QCheck2.Test.fail_reportf "kernel from %s not runnable: %s"
-             (Modes.transform_name r.Modes.used) (Printexc.to_string exn));
+             (Modes.transform_name sv.Sen.sv_mode) (Printexc.to_string exn));
         let got = Modes.result_matrix env ~iters in
         Array.iteri
           (fun i b ->
@@ -138,36 +178,76 @@ let prop_safe =
               QCheck2.Test.fail_reportf
                 "%s %s via %s: cell %d differs from native (%h vs %h)"
                 (Modes.kind_name kind) (Modes.style_name style)
-                (Modes.transform_name r.Modes.used) i got.(i)
+                (Modes.transform_name sv.Sen.sv_mode) i got.(i)
                 (Int64.float_of_bits b))
           want;
         true)
 
-(* every single point, injected forever, must still degrade cleanly *)
+(* every single point — typed and saboteur — injected forever, must
+   still end in a correct serve, and the arm must actually land *)
 let test_every_point_lands () =
   let env = Lazy.force shared in
   List.iter
     (fun (p, _) ->
+      Sen.reset ();
+      Quarantine.clear ();
       Fault.install [ Fault.arm p ];
-      let r =
-        try Modes.transform_safe env Modes.Flat Modes.Element Modes.DBrewLlvm
-        with exn ->
-          Fault.clear ();
-          Alcotest.failf "point %s: raised %s" p (Printexc.to_string exn)
-      in
+      (try
+         for _ = 1 to 6 do
+           ignore
+             (Sen.serve ~policy:sentinel_policy env Modes.Flat Modes.Element
+                Modes.DBrewLlvm)
+         done
+       with exn ->
+         Fault.clear ();
+         Alcotest.failf "point %s: raised %s" p (Printexc.to_string exn));
+      note_coverage ();
+      if Fault.fired () = 0 then begin
+        if List.mem_assoc p (Fault.hits ()) then
+          Alcotest.failf "point %s: reached while armed but never fired" p;
+        (* a pass the JIT pipeline never schedules (opt.vectorize is
+           build-time only: [o3_opts] forces no vectorization, Sec. VI)
+           is exercised by recompiling the whole program under the arm *)
+        (match Modes.build ~sz () with
+         | _ ->
+           Alcotest.failf
+             "point %s: not reached by serves and a full build never fired it"
+             p
+         | exception Err.Error e when Err.injected e -> ());
+        note_coverage ();
+        if Fault.fired () = 0 then
+          Alcotest.failf "point %s: armed forever but never fired" p
+      end;
       Fault.clear ();
+      let last = ref None in
+      for _ = 1 to 10 do
+        last :=
+          Some
+            (Sen.serve ~policy:sentinel_policy env Modes.Flat Modes.Element
+               Modes.DBrewLlvm)
+      done;
+      let sv = Option.get !last in
       ignore
         (Modes.run ~max_insns:50_000_000 env Modes.Flat Modes.Element
-           ~kernel:r.Modes.kernel ~iters);
+           ~kernel:sv.Sen.sv_kernel ~iters);
       let got = Modes.result_matrix env ~iters in
       let want = reference Modes.Flat Modes.Element in
       Array.iteri
         (fun i b ->
           if Int64.bits_of_float got.(i) <> b then
             Alcotest.failf "point %s via %s: cell %d differs" p
-              (Modes.transform_name r.Modes.used) i)
+              (Modes.transform_name sv.Sen.sv_mode) i)
         want)
-    Fault.known_points
+    Fault.all_points
+
+(* runs after the campaign: every registered injection point —
+   including the saboteur points — must have been exercised *)
+let test_campaign_coverage () =
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem covered p) then
+        Alcotest.failf "injection point %s never exercised by the campaign" p)
+    Fault.all_point_names
 
 let () =
   Alcotest.run "fault"
@@ -178,4 +258,6 @@ let () =
       ( "harness",
         [ Alcotest.test_case "every point lands" `Quick
             test_every_point_lands;
-          QCheck_alcotest.to_alcotest prop_safe ] ) ]
+          QCheck_alcotest.to_alcotest prop_safe;
+          Alcotest.test_case "campaign exercises every point" `Quick
+            test_campaign_coverage ] ) ]

@@ -298,6 +298,39 @@ let check_profile path (j : json) =
   Printf.printf "%s: OK (%d rows, %d blocks, %d cycles)\n" ctx
     (List.length rows) (List.length blocks) total
 
+(* Sentinel runtime-validation stats (written by `stencil
+   --sentinel-json`).  The counter inequalities are structural: every
+   quarantine entry was produced by a divergence, and every demotion
+   implies at least one check ran. *)
+let sentinel_counters =
+  [ "checks"; "divergences"; "quarantined"; "demotions"; "healed";
+    "heal_retries"; "blocked_serves" ]
+
+let check_sentinel ~min_divergences ~min_demotions path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let get k = as_int (ctx ^ "." ^ k) (field ctx j k) in
+  List.iter
+    (fun k -> if get k < 0 then fail "%s: negative %s" ctx k)
+    sentinel_counters;
+  if get "quarantined" > get "divergences" then
+    fail "%s: quarantined (%d) exceeds divergences (%d)" ctx
+      (get "quarantined") (get "divergences");
+  if get "demotions" > 0 && get "checks" = 0 then
+    fail "%s: demotions without any checks" ctx;
+  if get "divergences" < min_divergences then
+    fail "%s: divergences %d below required minimum %d" ctx
+      (get "divergences") min_divergences;
+  if get "demotions" < min_demotions then
+    fail "%s: demotions %d below required minimum %d" ctx (get "demotions")
+      min_demotions;
+  Printf.printf
+    "%s: OK (checks %d, divergences %d, quarantined %d, demotions %d, \
+     healed %d)\n"
+    ctx (get "checks") (get "divergences") (get "quarantined")
+    (get "demotions") (get "healed")
+
 let check_trace path (j : json) =
   let ctx = Filename.basename path in
   let evs = as_arr (ctx ^ ".traceEvents") (field ctx j "traceEvents") in
@@ -420,7 +453,8 @@ let () =
   if args = [] then begin
     prerr_endline
       "usage: validate_bench [--trace FILE | --remarks FILE | --profile \
-       FILE | BENCH_*.json] ...\n\
+       FILE | --sentinel FILE | BENCH_*.json] ...\n\
+      \       [--sentinel-min-divergences N] [--sentinel-min-demotions N]\n\
       \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT] \
        [--tol-mips PCT]";
     exit 2
@@ -463,12 +497,34 @@ let () =
            [--tol PCT] [--tol-mips PCT]";
         exit 2)
    | _ ->
+     (* thresholds apply to every --sentinel file, wherever they appear
+        on the command line, so hoist them before the file sweep *)
+     let min_div = ref 0 in
+     let min_dem = ref 0 in
+     let rec hoist = function
+       | "--sentinel-min-divergences" :: n :: tl ->
+         min_div := int_of_string n;
+         hoist tl
+       | "--sentinel-min-demotions" :: n :: tl ->
+         min_dem := int_of_string n;
+         hoist tl
+       | ("--sentinel-min-divergences" | "--sentinel-min-demotions") :: [] ->
+         prerr_endline "--sentinel-min-* need an integer argument";
+         exit 2
+       | a :: tl -> a :: hoist tl
+       | [] -> []
+     in
+     let args = hoist args in
      let rec go = function
        | [] -> ()
        | "--trace" :: f :: tl -> checked "trace" f check_trace; go tl
        | "--remarks" :: f :: tl -> checked "remarks" f check_remarks; go tl
        | "--profile" :: f :: tl -> checked "profile" f check_profile; go tl
-       | ("--trace" | "--remarks" | "--profile") :: [] ->
+       | "--sentinel" :: f :: tl ->
+         checked "sentinel" f
+           (check_sentinel ~min_divergences:!min_div ~min_demotions:!min_dem);
+         go tl
+       | ("--trace" | "--remarks" | "--profile" | "--sentinel") :: [] ->
          prerr_endline "flag needs a file argument";
          exit 2
        | f :: tl -> checked "bench" f check_bench; go tl
