@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick bench-mips trace profile fuzz fuzz-smoke examples ci clean
+.PHONY: all build test bench bench-quick bench-mips bench-tier trace profile fuzz fuzz-smoke examples ci clean
 
 all: build
 
@@ -27,6 +27,14 @@ bench-mips:
 	dune exec tools/validate_bench.exe -- compare \
 	  bench/baselines/BENCH_fig9a.json _bench/BENCH_fig9a.json \
 	  --tol 300 --tol-mips 25
+
+# Tiered-compilation figure (fixed workload, deterministic simulated
+# cycles), gated bit-for-bit against the committed baseline.
+bench-tier:
+	dune exec bench/main.exe -- --only tier --json
+	dune exec tools/validate_bench.exe -- --tier _bench/BENCH_tier.json
+	dune exec tools/validate_bench.exe -- compare-tier \
+	  bench/baselines/BENCH_tier.json _bench/BENCH_tier.json
 
 # Chrome-trace of the full pipeline on the Jacobi case study: load
 # trace.json at chrome://tracing or ui.perfetto.dev.

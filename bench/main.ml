@@ -434,6 +434,138 @@ let ablation_passes env =
     (List.sort compare Pipeline.stats.Pipeline.pass_changes)
 
 (* ------------------------------------------------------------------ *)
+(* Tiered adaptive compilation: time-to-peak and total cost            *)
+(* ------------------------------------------------------------------ *)
+
+module Tier = Obrew_tier.Tier
+module Sen = Obrew_sentinel.Sentinel
+
+(* fixed workload, independent of --sz/--iters/--quick: the simulated
+   cycles of every strategy are fully deterministic, so CI gates them
+   bit-for-bit against the committed baseline wherever the bench runs *)
+let tier_sz = 17
+let tier_slices = 32
+let tier_threshold = 50_000
+
+let tier_section () =
+  header
+    (Printf.sprintf
+       "Tiered adaptive compilation (%dx%d matrix, %d slices, threshold %d)"
+       tier_sz tier_sz tier_slices tier_threshold);
+  let hot = (Modes.Flat, Modes.Element) in
+  let cold = [ (Modes.Direct, Modes.Element); (Modes.Sorted, Modes.Element) ] in
+  let schedule = Tier.partially_hot ~slices:tier_slices ~hot ~cold in
+  let cfg =
+    { Tier.default_config with Tier.hot_threshold = tier_threshold }
+  in
+  let run strategy =
+    (* fresh env and sentinel per strategy: each run pays its own
+       compiles and sees no kernels from the previous one *)
+    let env = Modes.build ~sz:tier_sz () in
+    Sen.reset ();
+    Obrew_fault.Quarantine.clear ();
+    Tier.run ~cfg env ~schedule ~strategy
+  in
+  let tiered = run Tier.Tiered in
+  let always = run Tier.AlwaysTop in
+  let never = run Tier.NeverTier in
+  let results =
+    [ (Tier.strategy_name Tier.Tiered, tiered);
+      (Tier.strategy_name Tier.AlwaysTop, always);
+      (Tier.strategy_name Tier.NeverTier, never) ]
+  in
+  Printf.printf "%-8s %12s %12s %14s %12s %8s %8s\n" "" "Mcycles"
+    "compile ms" "peak after" "peak cyc" "tierups" "patches";
+  List.iter
+    (fun (name, r) ->
+      Printf.printf "%-8s %12.3f %12.3f %11d sl. %12.3f %8d %8d\n" name
+        (float_of_int r.Tier.r_total_cycles /. 1e6)
+        (r.Tier.r_compile_s *. 1e3)
+        r.Tier.r_slices_to_peak
+        (float_of_int r.Tier.r_cycles_to_peak /. 1e6)
+        r.Tier.r_tierups r.Tier.r_patches)
+    results;
+  let hot_sites r =
+    List.length
+      (List.filter (fun s -> Tier.level_name s.Tier.s_level = "hot")
+         r.Tier.r_sites)
+  in
+  (* exactness first: every strategy must compute the same bits *)
+  if always.Tier.r_result <> never.Tier.r_result
+     || tiered.Tier.r_result <> never.Tier.r_result
+  then begin
+    Printf.eprintf
+      "bench: tier strategies disagree on the result matrix — tiering \
+       changed the computation\n";
+    exit 1
+  end;
+  (* the figure's deterministic claims, asserted at generation time:
+     tiering beats never-tiering on total simulated cycles, and beats
+     always-top on compile investment (only the dominant kernel is
+     compiled to the top tier) *)
+  if tiered.Tier.r_total_cycles >= never.Tier.r_total_cycles then begin
+    Printf.eprintf
+      "bench: tiered run (%d cycles) not cheaper than never-tier (%d)\n"
+      tiered.Tier.r_total_cycles never.Tier.r_total_cycles;
+    exit 1
+  end;
+  if not tiered.Tier.r_reached_peak then begin
+    Printf.eprintf "bench: tiered run never reached the top tier\n";
+    exit 1
+  end;
+  if hot_sites tiered >= hot_sites always then begin
+    Printf.eprintf
+      "bench: tiered run compiled %d site(s) to the top tier, always-top \
+       %d — no compile saving to report\n"
+      (hot_sites tiered) (hot_sites always);
+    exit 1
+  end;
+  Printf.printf
+    "tiered vs never-tier: %.1f%% fewer simulated cycles; vs always-top: \
+     %d of %d sites compiled to the top tier (%.3f ms vs %.3f ms \
+     compiling)\n"
+    (100.0
+     *. (1.0
+         -. float_of_int tiered.Tier.r_total_cycles
+            /. float_of_int never.Tier.r_total_cycles))
+    (hot_sites tiered) (hot_sites always)
+    (tiered.Tier.r_compile_s *. 1e3)
+    (always.Tier.r_compile_s *. 1e3);
+  let site_rows r =
+    List.map
+      (fun s ->
+        jobj (Tier.site_key s)
+          [ jstr "level" (Tier.level_name s.Tier.s_level);
+            jint "slices" s.Tier.s_slices;
+            jint "compiles" s.Tier.s_compiles;
+            jint "patches" s.Tier.s_patches ])
+      r.Tier.r_sites
+  in
+  let strategy_fields (name, r) =
+    jobj name
+      [ jint "total_cycles" r.Tier.r_total_cycles;
+        jint "total_insns" r.Tier.r_total_insns;
+        jfloat "compile_s" r.Tier.r_compile_s;
+        jfloat "wall_s" r.Tier.r_wall_s;
+        jint "cycles_to_peak" r.Tier.r_cycles_to_peak;
+        jfloat "time_to_peak_s" r.Tier.r_time_to_peak_s;
+        jint "slices_to_peak" r.Tier.r_slices_to_peak;
+        jint "reached_peak" (if r.Tier.r_reached_peak then 1 else 0);
+        jint "hot_sites" (hot_sites r);
+        jint "patches" r.Tier.r_patches;
+        jint "tierups" r.Tier.r_tierups;
+        jint "demotions" r.Tier.r_demotions;
+        jint "compiles" r.Tier.r_compiles;
+        jobj "sites" (site_rows r) ]
+  in
+  write_json "tier"
+    [ jint "schema_version" bench_schema_version;
+      jstr "section" "tier";
+      jint "sz" tier_sz; jint "slices" tier_slices;
+      jint "hot_threshold" tier_threshold;
+      jobj "strategies" (List.map strategy_fields results) ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Printf.printf
@@ -449,6 +581,7 @@ let () =
   if enabled "vector" then vector env;
   if enabled "ablation_lifter" then ablation_lifter env;
   if enabled "ablation_passes" then ablation_passes env;
+  if enabled "tier" then tier_section ();
   (match !trace_file with
    | None -> ()
    | Some f ->

@@ -140,11 +140,24 @@ let verify_arg =
          ~doc:"After the measured run, re-run with the Native kernel \
                and require the final matrix to be bit-identical.")
 
+let tier_arg =
+  Arg.(value & opt ~vopt:(Some "2000") (some string) None
+       & info [ "tier" ] ~docv:"THRESHOLD"
+         ~doc:"Run a partially-hot sliced workload under the tiered \
+               adaptive controller: every kernel starts in the \
+               superblock engine behind a patchable thunk and tiers up \
+               to DBrew then DBrew+LLVM once its always-on hotness \
+               crosses THRESHOLD weighted block executions (default \
+               2000). Tier-ups are sentinel-validated; call sites are \
+               patched without a global flush. ITERS becomes the slice \
+               count; KIND/STYLE is the dominant (hot) kernel.")
+
 module Tel = Obrew_telemetry.Telemetry
 module Prov = Obrew_provenance.Provenance
 module Sen = Obrew_sentinel.Sentinel
 module SenH = Obrew_sentinel.Health
 module Srepro = Obrew_sentinel.Srepro
+module Tier = Obrew_tier.Tier
 
 let provenance_setup profile profile_out annotate remarks =
   if profile <> None || profile_out <> None || annotate <> None
@@ -263,14 +276,104 @@ let write_stats_json (env : Modes.env) (dest : string) =
     Printf.eprintf "engine stats written to %s\n" dest
   end
 
+(* the --tier path of the stencil command: run a partially-hot sliced
+   workload under the adaptive controller and report the tiering
+   trajectory (and, with --verify, check the result against a
+   never-tiering control run) *)
+let run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
+    ~verify =
+  let cfg =
+    { Tier.default_config with
+      Tier.hot_threshold = threshold; out_dir = Some sentinel_out }
+  in
+  let cold =
+    List.filter_map
+      (fun k -> if k = kind then None else Some (k, style))
+      [ Modes.Direct; Modes.Flat; Modes.Sorted ]
+  in
+  let schedule =
+    Tier.partially_hot ~slices:(max 1 iters) ~hot:(kind, style) ~cold
+  in
+  Sen.log := prerr_endline;
+  let r = Tier.run ~cfg env ~schedule ~strategy:Tier.Tiered in
+  Printf.printf
+    "tier: %d slice(s), hot %s/%s, threshold %d (x%d for warm->hot)\n"
+    (Array.length schedule) (Modes.kind_name kind) (Modes.style_name style)
+    threshold cfg.Tier.promote_mult;
+  Printf.printf
+    "tier: %d tier-up(s), %d patch(es), %d demotion(s), %d compile(s) \
+     (%.3f ms compiling)\n"
+    r.Tier.r_tierups r.Tier.r_patches r.Tier.r_demotions r.Tier.r_compiles
+    (r.Tier.r_compile_s *. 1e3);
+  Printf.printf "tier: total %d cycles, %d instructions\n"
+    r.Tier.r_total_cycles r.Tier.r_total_insns;
+  if r.Tier.r_patches > 0 then
+    Printf.printf
+      "tier: reached final code after %d slice(s) (%d cycles, %.3f ms)%s\n"
+      r.Tier.r_slices_to_peak r.Tier.r_cycles_to_peak
+      (r.Tier.r_time_to_peak_s *. 1e3)
+      (if r.Tier.r_reached_peak then "" else " — top tier not reached");
+  List.iter
+    (fun s ->
+      Printf.printf
+        "  site %-16s %-4s  %3d slice(s), %d compile(s), %d patch(es)\n"
+        (Tier.site_key s)
+        (Tier.level_name s.Tier.s_level)
+        s.Tier.s_slices s.Tier.s_compiles s.Tier.s_patches)
+    r.Tier.r_sites;
+  if stats then
+    List.iter
+      (fun (tick, m) -> Printf.printf "  [%03d] %s\n" tick m)
+      r.Tier.r_events;
+  if verify then begin
+    Sen.reset ();
+    let control =
+      Tier.run ~cfg env ~schedule ~strategy:Tier.NeverTier
+    in
+    if r.Tier.r_result = control.Tier.r_result then
+      Printf.printf
+        "verify: final matrix bit-identical to the never-tier control \
+         (%d cells)\n"
+        (Array.length r.Tier.r_result)
+    else begin
+      Printf.eprintf "verify: final matrix DIFFERS from never-tier control\n";
+      exit 1
+    end
+  end
+
 let stencil_cmd =
   let run sz iters kind style tr dump stats stats_json fallback max_insns
       fault trace metrics profile profile_out annotate remarks sentinel
-      requests sentinel_json sentinel_out verify =
+      requests sentinel_json sentinel_out verify tier =
     install_fault_plan fault;
     telemetry_setup trace metrics;
     provenance_setup profile profile_out annotate remarks;
     let env = Modes.build ~sz () in
+    match tier with
+    | Some spec ->
+      let threshold =
+        match int_of_string_opt spec with
+        | Some t when t > 0 -> t
+        | _ ->
+          Printf.eprintf "bad --tier threshold %S (want a positive int)\n"
+            spec;
+          exit 2
+      in
+      run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
+        ~verify;
+      print_endline (Sen.stats_to_string ());
+      (match sentinel_json with
+       | None -> ()
+       | Some "-" -> print_string (Sen.stats_json ())
+       | Some f ->
+         Sen.write_stats_json f;
+         Printf.eprintf "sentinel stats written to %s\n" f);
+      (match stats_json with
+       | Some dest -> write_stats_json env dest
+       | None -> ());
+      provenance_finish profile profile_out remarks;
+      telemetry_finish trace metrics
+    | None ->
     (try
        let kernel, used, dt =
          match sentinel with
@@ -378,7 +481,7 @@ let stencil_cmd =
           $ fallback_arg $ max_insns_arg $ fault_arg $ trace_arg
           $ metrics_arg $ profile_arg $ profile_out_arg $ annotate_arg
           $ remarks_arg $ sentinel_arg $ requests_arg $ sentinel_json_arg
-          $ sentinel_out_arg $ verify_arg)
+          $ sentinel_out_arg $ verify_arg $ tier_arg)
 
 let modes_cmd =
   let run sz iters style stats fault trace metrics =

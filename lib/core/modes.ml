@@ -89,11 +89,25 @@ let stencil_range env = function
 
 let native_addr env kind style = Image.lookup env.img (kernel_name kind style)
 
+(* Watermark of the pipeline stage currently executing inside
+   {!transform}: each stage wrapper below records itself before
+   running, so when an *untyped* exception escapes all the way to
+   {!transform_safe}'s last-resort handler it can be attributed to the
+   stage it actually escaped from instead of a blanket Encode.
+   (Typed [Err.Error]s carry their own stage and ignore this.) *)
+let inflight_stage : Err.stage ref = ref Err.Encode
+
+let staged (st : Err.stage) f =
+  inflight_stage := st;
+  f ()
+
 (* lift the binary code at [entry] into a one-function module; failures
    propagate as typed [Err.Error]s (stage Lift or Decode) *)
 let lift_entry env ~name ~config entry sg =
-  let read = Mem.read_u8 env.img.Image.cpu.Cpu.mem in
-  Lift.lift ~config ~read ~entry ~name sg
+  staged Err.Lift (fun () ->
+      Fault.point_untyped "untyped.lift";
+      let read = Mem.read_u8 env.img.Image.cpu.Cpu.mem in
+      Lift.lift ~config ~read ~entry ~name sg)
 
 let o3_opts = { Pipeline.o3 with fast_math = true }
 
@@ -164,12 +178,14 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
      verified, an IR-breaking pass is rolled back and dropped, and the
      drops are recorded (graceful degradation instead of failure) *)
   let optimize m =
-    if not checked then Pipeline.run ~opts:opt m
-    else begin
-      let dropped = Pipeline.run_checked ~opts:opt m in
-      env.last_dropped <- dropped;
-      Robust.record_dropped (List.length dropped)
-    end
+    staged Err.Opt (fun () ->
+        Fault.point_untyped "untyped.opt";
+        if not checked then Pipeline.run ~opts:opt m
+        else begin
+          let dropped = Pipeline.run_checked ~opts:opt m in
+          env.last_dropped <- dropped;
+          Robust.record_dropped (List.length dropped)
+        end)
   in
   env.last_dropped <- [];
   (* under fault injection the memo must neither serve stale successes
@@ -214,9 +230,9 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       let f = lift_entry env ~name:"jit" ~config:lift_config orig sg in
       let m = { Ins.funcs = [ f ]; globals = [] } in
       optimize m;
-      Verify.assert_ok ~ctx:"llvm identity" f;
+      staged Err.Verify (fun () -> Verify.assert_ok ~ctx:"llvm identity" f);
       env.last_ir <- Some m;
-      Jit.install_func env.img f
+      staged Err.Encode (fun () -> Jit.install_func env.img f)
     | LlvmFix ->
       (* Sec. IV: copy the fixed memory region into the module as a
          global constant; wrap the always-inline lifted function *)
@@ -238,39 +254,45 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       let wrapper = Builder.func b in
       let m = { Ins.funcs = [ f; wrapper ]; globals = [ g ] } in
       optimize m;
-      Verify.assert_ok ~ctx:"llvm fixation" wrapper;
+      staged Err.Verify (fun () ->
+          Verify.assert_ok ~ctx:"llvm fixation" wrapper);
       env.last_ir <- Some m;
-      ignore (Jit.install_global env.img g);
-      (* the callee is normally fully inlined, but lower optimization
-         levels may keep the call *)
-      ignore (Jit.install_func env.img f);
-      Jit.install_func env.img wrapper
+      staged Err.Encode (fun () ->
+          ignore (Jit.install_global env.img g);
+          (* the callee is normally fully inlined, but lower
+             optimization levels may keep the call *)
+          ignore (Jit.install_func env.img f);
+          Jit.install_func env.img wrapper)
     | DBrew -> (
-      let r = Api.dbrew_new env.img orig in
-      configure_rewriter r;
-      Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
-      let lo, hi = stencil_range env kind in
-      Api.dbrew_set_mem r lo hi;
-      let a = Api.dbrew_rewrite ~memo:use_memo r in
-      match r.Api.last_error with
-      | Some e -> raise (Err.Error e)
-      | None -> a)
+      staged Err.Encode (fun () ->
+          let r = Api.dbrew_new env.img orig in
+          configure_rewriter r;
+          Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
+          let lo, hi = stencil_range env kind in
+          Api.dbrew_set_mem r lo hi;
+          let a = Api.dbrew_rewrite ~memo:use_memo r in
+          match r.Api.last_error with
+          | Some e -> raise (Err.Error e)
+          | None -> a))
     | DBrewLlvm -> (
-      let r = Api.dbrew_new env.img orig in
-      configure_rewriter r;
-      Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
-      let lo, hi = stencil_range env kind in
-      Api.dbrew_set_mem r lo hi;
-      let a = Api.dbrew_rewrite ~memo:use_memo r in
-      match r.Api.last_error with
-      | Some e -> raise (Err.Error e)
-      | None ->
-        let f = lift_entry env ~name:"jit" ~config:lift_config a sg in
-        let m = { Ins.funcs = [ f ]; globals = [] } in
-        optimize m;
-        Verify.assert_ok ~ctx:"dbrew+llvm" f;
-        env.last_ir <- Some m;
-        Jit.install_func env.img f))
+      let a =
+        staged Err.Encode (fun () ->
+            let r = Api.dbrew_new env.img orig in
+            configure_rewriter r;
+            Api.dbrew_set_par r 0 (Int64.of_int (stencil_arg env kind));
+            let lo, hi = stencil_range env kind in
+            Api.dbrew_set_mem r lo hi;
+            let a = Api.dbrew_rewrite ~memo:use_memo r in
+            match r.Api.last_error with
+            | Some e -> raise (Err.Error e)
+            | None -> a)
+      in
+      let f = lift_entry env ~name:"jit" ~config:lift_config a sg in
+      let m = { Ins.funcs = [ f ]; globals = [] } in
+      optimize m;
+      staged Err.Verify (fun () -> Verify.assert_ok ~ctx:"dbrew+llvm" f);
+      env.last_ir <- Some m;
+      staged Err.Encode (fun () -> Jit.install_func env.img f)))
   in
   (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());
   (addr, Unix.gettimeofday () -. t0)
@@ -295,13 +317,18 @@ let fallback_chain = [ DBrewLlvm; DBrew; Llvm; Native ]
 
 let chain_from = function
   | LlvmFix -> [ LlvmFix; Llvm; Native ]
-  | t ->
+  | t -> (
     let rec suffix = function
       | [] -> [ Native ]
       | x :: _ as l when x = t -> l
       | _ :: tl -> suffix tl
     in
-    suffix fallback_chain
+    (* a mode absent from [fallback_chain] must still be attempted
+       first — degrading to Native without a single attempt at the
+       requested mode would silently skip it (the LlvmFix bug class) *)
+    match suffix fallback_chain with
+    | x :: _ as chain when x = t -> chain
+    | chain -> t :: chain)
 
 (** Fail-safe {!transform}: walk the fallback chain from the requested
     mode down to Native, recording every typed failure, and return the
@@ -324,6 +351,9 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
         failures = List.rev failures; dropped = [] }
     | m :: rest -> (
       Robust.record_attempt ();
+      (* fresh watermark per attempt: a stale stage from the previous
+         mode must not leak into this attempt's attribution *)
+      inflight_stage := Err.Encode;
       if !Tel.enabled then
         Tel.instant "fallback.attempt" ~args:(transform_name m);
       match transform ?use_memo ?lift_config ?opt ?checked ?guards
@@ -347,8 +377,9 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
         go ((m, e) :: failures) rest
       | exception exn ->
         (* anything untyped that escapes is still a recorded failure,
-           not a crash; attribute it to the stage that wraps codegen *)
-        let e = Err.of_exn ~stage:Err.Encode exn in
+           not a crash; the in-flight watermark names the pipeline
+           stage it actually escaped from *)
+        let e = Err.of_exn ~stage:!inflight_stage exn in
         Robust.record_failure e;
         if !Tel.enabled then
           Tel.instant "fallback.failure"

@@ -54,7 +54,17 @@ let saboteur_points : (string * Err.stage) list =
     ("sabotage.rewrite.item", Err.Encode);
     ("sabotage.install.bytes", Err.Install) ]
 
-let all_points = known_points @ saboteur_points
+(** Untyped points: an armed hit raises a bare [Failure] instead of a
+    typed {!Err.Error} — they drill [Modes.transform_safe]'s
+    last-resort handler, whose job is to attribute an arbitrary
+    escaping exception to the pipeline stage it escaped from.  The
+    stage listed here is where the raise happens (and therefore what
+    correct attribution must report).  Kept out of {!known_points}:
+    tests sweeping that list expect typed errors. *)
+let untyped_points : (string * Err.stage) list =
+  [ ("untyped.lift", Err.Lift); ("untyped.opt", Err.Opt) ]
+
+let all_points = known_points @ saboteur_points @ untyped_points
 let point_names = List.map fst known_points
 let all_point_names = List.map fst all_points
 
@@ -140,6 +150,28 @@ let point ?addr name =
           (Err.Error
              { stage = stage_of_point name; addr;
                detail = "injected: fault at " ^ name })
+      end)
+
+(** [point_untyped name]: like {!point} but an armed hit raises a bare
+    [Failure] instead of the stage's typed error — exercising the
+    pipeline's untyped-exception escape hatch.  A cheap no-op without
+    a plan. *)
+let point_untyped name =
+  match !current with
+  | [] -> ()
+  | plan -> (
+    Hashtbl.replace hit_counts name
+      (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts name));
+    match List.find_opt (fun a -> a.a_point = name) plan with
+    | None -> ()
+    | Some a ->
+      if a.a_skip > 0 then a.a_skip <- a.a_skip - 1
+      else if a.a_fires <> 0 then begin
+        if a.a_fires > 0 then a.a_fires <- a.a_fires - 1;
+        incr fired_count;
+        if !Obrew_telemetry.Telemetry.enabled then
+          Obrew_telemetry.Telemetry.instant "fault.injected" ~args:name;
+        failwith ("injected: untyped fault at " ^ name)
       end)
 
 (** [sabotage name]: like {!point} but for saboteur arms — returns

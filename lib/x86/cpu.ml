@@ -90,7 +90,9 @@ type sblock = {
   sb_slot_insns : int array;      (* instructions per slot (1 or 2) *)
   sb_ranges : (int * int) list;   (* covered byte ranges [lo, hi) *)
   sb_kind : sb_kind;
-  mutable sb_execs : int;         (* executions, drives trace promotion *)
+  mutable sb_execs : int;         (* executions (always counted): drives
+                                     trace promotion and the tier
+                                     controller's hotness scan *)
   mutable sb_valid : bool;        (* cleared by flush_code *)
   mutable sb_link1 : sblock option; (* chained successors *)
   mutable sb_link2 : sblock option;
@@ -559,6 +561,18 @@ let cache_stats cpu =
         ("other", cpu.fu_other) ];
     flag_records = cpu.fl_records; flag_materialized = cpu.fl_mats;
     flag_dead_writes = cpu.fl_dead }
+
+(** Fold [f acc entry execs static_cost] over every valid cached
+    superblock — the tier controller's hotness scan.  [execs] counts
+    executions since the block was translated (a re-translation or
+    trace promotion restarts the count, so consumers must treat sums as
+    a monotone-per-block but globally lossy signal), [static_cost] is
+    the block's static cycle estimate; [execs * static_cost] weights
+    hot loop bodies above straight-line glue. *)
+let fold_blocks cpu f acc =
+  Hashtbl.fold
+    (fun e b acc -> if b.sb_valid then f acc e b.sb_execs b.sb_static else acc)
+    cpu.blocks acc
 
 let reset_cache_stats cpu =
   cpu.sb_hits <- 0; cpu.sb_misses <- 0;
@@ -2273,8 +2287,11 @@ let run ?(max_insns = 2_000_000_000) cpu =
         while !continue do
           let b = !blk in
           exec_block cpu b;
+          (* always-on hotness counter: one add per block execution,
+             read by the tier controller's hotness scan (fold_blocks).
+             Trace promotion below still keys off loop heads only. *)
+          b.sb_execs <- b.sb_execs + 1;
           (match b.sb_kind with KLoopHead -> begin
-            b.sb_execs <- b.sb_execs + 1;
             if
               b.sb_execs = trace_threshold
               && 2 * Array.length b.sb_insns <= max_trace_insns

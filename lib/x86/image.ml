@@ -14,6 +14,7 @@ type t = {
   (* addr -> (digest, length) of the installed host bytes *)
   mutable install_hits : int;
   mutable install_misses : int;
+  mutable patches : int; (* in-place thunk retargets (patch_thunk) *)
 }
 
 let code_base = 0x0040_0000
@@ -30,7 +31,7 @@ let create ?cost () =
     { uid = !next_uid; cpu; next_code = code_base; next_data = data_base;
       symbols = Hashtbl.create 32; stack_top = stack_base;
       code_memo = Hashtbl.create 64; code_digests = Hashtbl.create 64;
-      install_hits = 0; install_misses = 0 }
+      install_hits = 0; install_misses = 0; patches = 0 }
   in
   Cpu.set_reg cpu Insn.W64 Reg.RSP (Int64.of_int stack_base);
   t
@@ -159,6 +160,55 @@ let installed_bytes t addr =
   Option.map
     (fun (_, len) -> Mem.read_bytes t.cpu.Cpu.mem addr len)
     (Hashtbl.find_opt t.code_digests addr)
+
+(** Byte range [addr, addr+len) of the install recorded at [addr]. *)
+let code_range t addr =
+  Option.map
+    (fun (_, len) -> (addr, addr + len))
+    (Hashtbl.find_opt t.code_digests addr)
+
+(* A call-site thunk is the indirection the tier controller retargets:
+   [movabs rax, target; jmp rax].  The 64-bit immediate sits at a fixed
+   offset, so a tier-up rewrites 8 bytes in place instead of flushing
+   the world.  rax is caller-saved and dead at every kernel entry
+   (System V: it carries no argument), so clobbering it is safe. *)
+let thunk_imm_off = 2 (* REX.W + B8, then imm64 *)
+
+let thunk_items target =
+  [ Insn.I (Insn.Movabs (Reg.RAX, Int64.of_int target));
+    Insn.I (Insn.JmpInd (Insn.OReg Reg.RAX)) ]
+
+(** Install a retargetable entry thunk that tail-jumps to [target];
+    returns the thunk address.  Never deduplicated: each call site owns
+    its thunk, otherwise patching one site would silently retarget the
+    others. *)
+let install_thunk ?name t ~target =
+  let addr = install_code ?name t (thunk_items target) in
+  (* the patch protocol depends on the immediate's position; verify the
+     encoding actually put it where patch_thunk will write *)
+  if Mem.read_u64 t.cpu.Cpu.mem (addr + thunk_imm_off)
+     <> Int64.of_int target
+  then
+    Obrew_fault.Err.fail ~addr Obrew_fault.Err.Install
+      "thunk encoding drifted: imm64 not at offset %d" thunk_imm_off;
+  addr
+
+(** Retarget the thunk at [addr] to [target]: rewrite the 8 immediate
+    bytes in place, refresh the recorded digest and flush only the
+    thunk's own byte range — every other superblock (and its chain
+    links) survives, which is the point of tiering up without a global
+    flush. *)
+let patch_thunk t addr ~target =
+  let len =
+    match Hashtbl.find_opt t.code_digests addr with
+    | Some (_, len) -> len
+    | None -> invalid_arg "Image.patch_thunk: not an installed thunk"
+  in
+  Mem.write_u64 t.cpu.Cpu.mem (addr + thunk_imm_off) (Int64.of_int target);
+  let bytes = Mem.read_bytes t.cpu.Cpu.mem addr len in
+  Hashtbl.replace t.code_digests addr (Digest.string bytes, len);
+  t.patches <- t.patches + 1;
+  Cpu.flush_code ~range:(addr, addr + len) t.cpu
 
 (** Store a list of doubles into fresh data memory; returns address. *)
 let alloc_f64_array ?(align = 16) t (vs : float array) =

@@ -16,6 +16,8 @@ type t = {
   (** entry address -> (digest, length) of the installed host bytes *)
   mutable install_hits : int;
   mutable install_misses : int;
+  mutable patches : int;
+  (** in-place thunk retargets performed by {!patch_thunk} *)
 }
 
 val code_base : int
@@ -61,6 +63,22 @@ val digest_of_addr : t -> int -> string option
 (** The exact host bytes installed at [addr] (read back from emulated
     memory), when [addr] is the entry of a recorded install. *)
 val installed_bytes : t -> int -> string option
+
+(** Byte range [addr, addr+len) of the install recorded at [addr] —
+    the host-range map the tier controller's hotness scan keys on. *)
+val code_range : t -> int -> (int * int) option
+
+(** Install a retargetable entry thunk ([movabs rax, target; jmp rax])
+    and return its address.  Each call site owns its thunk (never
+    deduplicated): the tier controller hands the thunk address to the
+    driver and later retargets it with {!patch_thunk}. *)
+val install_thunk : ?name:string -> t -> target:int -> int
+
+(** Retarget an installed thunk in place: rewrite its 8 immediate
+    bytes, refresh the recorded digest, and range-flush only the
+    thunk's own bytes so unrelated superblocks and chain links
+    survive.  Raises [Invalid_argument] if [addr] was not installed. *)
+val patch_thunk : t -> int -> target:int -> unit
 
 (** Write float / int64 arrays into fresh data memory. *)
 val alloc_f64_array : ?align:int -> t -> float array -> int

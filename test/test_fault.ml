@@ -92,6 +92,99 @@ let test_stage_mapping () =
     Fault.all_points
 
 (* ------------------------------------------------------------------ *)
+(* Fallback chain and stage attribution (the PR 8 bugfixes)            *)
+(* ------------------------------------------------------------------ *)
+
+(* the requested mode must head its own chain — the old suffix walk
+   returned [Native] for any mode absent from [fallback_chain],
+   silently skipping the requested transform *)
+let test_chain_from () =
+  List.iter
+    (fun t ->
+      match Modes.chain_from t with
+      | head :: _ when head = t -> ()
+      | chain ->
+        Alcotest.failf "chain_from %s starts with %s, not the request"
+          (Modes.transform_name t)
+          (match chain with
+           | [] -> "<empty>"
+           | h :: _ -> Modes.transform_name h))
+    transforms;
+  let names l = List.map Modes.transform_name l in
+  Alcotest.(check (list string)) "DBrewLlvm chain"
+    (names Modes.fallback_chain)
+    (names (Modes.chain_from Modes.DBrewLlvm));
+  Alcotest.(check (list string)) "LlvmFix degrades via Llvm"
+    (names [ Modes.LlvmFix; Modes.Llvm; Modes.Native ])
+    (names (Modes.chain_from Modes.LlvmFix));
+  Alcotest.(check (list string)) "Native chain is the floor alone"
+    (names [ Modes.Native ])
+    (names (Modes.chain_from Modes.Native))
+
+(* regression: transform_safe on a healthy pipeline must actually run
+   the requested LlvmFix transform, not fall through to Native *)
+let test_llvmfix_attempted () =
+  let env = Lazy.force shared in
+  Fault.clear ();
+  let r =
+    Modes.transform_safe ~use_memo:false env Modes.Flat Modes.Element
+      Modes.LlvmFix
+  in
+  Alcotest.(check string) "LlvmFix itself served the request"
+    (Modes.transform_name Modes.LlvmFix)
+    (Modes.transform_name r.Modes.used);
+  Alcotest.(check int) "no failures along the way" 0
+    (List.length r.Modes.failures);
+  ignore (Modes.run env Modes.Flat Modes.Element ~kernel:r.Modes.kernel ~iters);
+  let got = Modes.result_matrix env ~iters in
+  let want = reference Modes.Flat Modes.Element in
+  Array.iteri
+    (fun i b ->
+      if Int64.bits_of_float got.(i) <> b then
+        Alcotest.failf "LlvmFix kernel: cell %d differs from native" i)
+    want
+
+(* regression: an untyped exception escaping a pipeline stage must be
+   attributed to that stage, not blanket-blamed on Encode *)
+let test_untyped_attribution () =
+  let env = Lazy.force shared in
+  List.iter
+    (fun (point, stage) ->
+      Fault.install [ Fault.arm point ];
+      let r =
+        Modes.transform_safe ~use_memo:false env Modes.Flat Modes.Element
+          Modes.Llvm
+      in
+      Fault.clear ();
+      (match r.Modes.failures with
+       | [ (Modes.Llvm, e) ] ->
+         Alcotest.(check string)
+           (Printf.sprintf "%s attributed stage" point)
+           (Err.stage_name stage)
+           (Err.stage_name e.Err.stage);
+         (* the wrapped detail must carry the original Failure text
+            (of_exn prefixes "unexpected exception: ") *)
+         let marker = "injected: untyped fault" in
+         let contains hay needle =
+           let nh = String.length hay and nn = String.length needle in
+           let rec go i =
+             i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+           in
+           go 0
+         in
+         if not (contains e.Err.detail marker) then
+           Alcotest.failf "%s: detail lost the injected marker: %s" point
+             e.Err.detail
+       | fs ->
+         Alcotest.failf "%s: expected exactly the Llvm failure, got %d" point
+           (List.length fs));
+      Alcotest.(check string)
+        (Printf.sprintf "%s fell back to native" point)
+        (Modes.transform_name Modes.Native)
+        (Modes.transform_name r.Modes.used))
+    Fault.untyped_points
+
+(* ------------------------------------------------------------------ *)
 (* Campaign coverage                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -255,6 +348,13 @@ let () =
         [ Alcotest.test_case "parse" `Quick test_parse;
           Alcotest.test_case "arm semantics" `Quick test_arm_semantics;
           Alcotest.test_case "stage mapping" `Quick test_stage_mapping ] );
+      ( "chain",
+        [ Alcotest.test_case "requested mode heads its chain" `Quick
+            test_chain_from;
+          Alcotest.test_case "LlvmFix is actually attempted" `Quick
+            test_llvmfix_attempted;
+          Alcotest.test_case "untyped exceptions keep their stage" `Quick
+            test_untyped_attribution ] );
       ( "harness",
         [ Alcotest.test_case "every point lands" `Quick
             test_every_point_lands;

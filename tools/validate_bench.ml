@@ -331,6 +331,85 @@ let check_sentinel ~min_divergences ~min_demotions path (j : json) =
     ctx (get "checks") (get "divergences") (get "quarantined")
     (get "demotions") (get "healed")
 
+(* Tiered-compilation figure (written by `bench --only tier --json`):
+   per-strategy totals plus per-site tier rows.  Beyond shape, the
+   structural invariants of the controller are re-checked here: the
+   never-tier control must not have tiered or patched anything, every
+   strategy must agree on slice count, and the figure's headline claim
+   — the tiered run spends fewer simulated cycles than the never-tier
+   control — must hold in the file CI archives. *)
+let tier_strategies = [ "tiered"; "always"; "never" ]
+let tier_levels = [ "cold"; "warm"; "hot" ]
+
+let check_tier path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let section = as_str (ctx ^ ".section") (field ctx j "section") in
+  if section <> "tier" then fail "%s: bad section %S" ctx section;
+  if as_int (ctx ^ ".sz") (field ctx j "sz") < 3 then fail "%s: sz < 3" ctx;
+  let slices = as_int (ctx ^ ".slices") (field ctx j "slices") in
+  if slices < 1 then fail "%s: slices < 1" ctx;
+  if as_int (ctx ^ ".hot_threshold") (field ctx j "hot_threshold") < 1 then
+    fail "%s: hot_threshold < 1" ctx;
+  let strategies = field ctx j "strategies" in
+  let strat name =
+    field (ctx ^ ".strategies") strategies name
+  in
+  let get s k = as_int (Printf.sprintf "%s.%s.%s" ctx s k) (field s (strat s) k) in
+  let getf s k = as_num (Printf.sprintf "%s.%s.%s" ctx s k) (field s (strat s) k) in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun k -> if get s k < 0 then fail "%s.%s: negative %s" ctx s k)
+        [ "total_cycles"; "total_insns"; "cycles_to_peak"; "slices_to_peak";
+          "reached_peak"; "hot_sites"; "patches"; "tierups"; "demotions";
+          "compiles" ];
+      List.iter
+        (fun k -> if getf s k < 0.0 then fail "%s.%s: negative %s" ctx s k)
+        [ "compile_s"; "wall_s"; "time_to_peak_s" ];
+      if get s "total_cycles" = 0 then fail "%s.%s: total_cycles = 0" ctx s;
+      if get s "tierups" > get s "compiles" then
+        fail "%s.%s: tierups exceed compiles" ctx s;
+      if get s "demotions" > get s "compiles" then
+        fail "%s.%s: demotions exceed compiles" ctx s;
+      let sites =
+        as_obj (Printf.sprintf "%s.%s.sites" ctx s) (field s (strat s) "sites")
+      in
+      if sites = [] then fail "%s.%s: no sites" ctx s;
+      let total_slices = ref 0 in
+      List.iter
+        (fun (name, row) ->
+          let rctx = Printf.sprintf "%s.%s.sites[%s]" ctx s name in
+          let lvl = as_str (rctx ^ ".level") (field rctx row "level") in
+          if not (List.mem lvl tier_levels) then
+            fail "%s: unknown level %S" rctx lvl;
+          total_slices :=
+            !total_slices + as_int (rctx ^ ".slices") (field rctx row "slices");
+          if as_int (rctx ^ ".compiles") (field rctx row "compiles") < 0 then
+            fail "%s: negative compiles" rctx;
+          if as_int (rctx ^ ".patches") (field rctx row "patches") < 0 then
+            fail "%s: negative patches" rctx)
+        sites;
+      if !total_slices <> slices then
+        fail "%s.%s: site slices sum to %d, expected %d" ctx s !total_slices
+          slices)
+    tier_strategies;
+  if get "never" "tierups" <> 0 || get "never" "patches" <> 0 then
+    fail "%s: never-tier control tiered up or patched" ctx;
+  if get "tiered" "total_cycles" >= get "never" "total_cycles" then
+    fail "%s: tiered total_cycles (%d) not below never-tier (%d)" ctx
+      (get "tiered" "total_cycles")
+      (get "never" "total_cycles");
+  if get "tiered" "reached_peak" <> 1 then
+    fail "%s: tiered run did not reach the top tier" ctx;
+  Printf.printf
+    "%s: OK (tiered %d cycles vs never %d, peak after %d of %d slices)\n" ctx
+    (get "tiered" "total_cycles")
+    (get "never" "total_cycles")
+    (get "tiered" "slices_to_peak")
+    slices
+
 let check_trace path (j : json) =
   let ctx = Filename.basename path in
   let evs = as_arr (ctx ^ ".traceEvents") (field ctx j "traceEvents") in
@@ -448,15 +527,66 @@ let compare_bench ~tol ~tol_mips base_path cur_path =
       (List.rev rs);
     exit 1
 
+(* ------------------------------------------------------------------ *)
+(* compare-tier: per-strategy cycle gate over two tier figures         *)
+(* ------------------------------------------------------------------ *)
+
+(* The tier workload is fixed and its simulated cycles deterministic,
+   so the default tolerance is 0%: any drift in a strategy's
+   total_cycles fails the gate.  Wall-clock fields (compile_s,
+   time_to_peak_s) are printed for the record, never gated. *)
+let compare_tier ~tol base_path cur_path =
+  let load p = parse (read_file p) in
+  let base = load base_path and cur = load cur_path in
+  let bctx = Filename.basename base_path in
+  let cctx = Filename.basename cur_path in
+  let section ctx j = as_str (ctx ^ ".section") (field ctx j "section") in
+  if section bctx base <> "tier" || section cctx cur <> "tier" then
+    fail "compare-tier: both files must have section \"tier\"";
+  let strat ctx j name =
+    field (ctx ^ ".strategies") (field ctx j "strategies") name
+  in
+  let regressions = ref [] in
+  List.iter
+    (fun name ->
+      let b = strat bctx base name and c = strat cctx cur name in
+      let bcy = as_int (name ^ ".total_cycles") (field name b "total_cycles") in
+      let ccy = as_int (name ^ ".total_cycles") (field name c "total_cycles") in
+      let d =
+        if bcy = 0 then 0.0
+        else 100.0 *. (float_of_int ccy /. float_of_int bcy -. 1.0)
+      in
+      let bt = as_num (name ^ ".time_to_peak_s") (field name b "time_to_peak_s") in
+      let ct = as_num (name ^ ".time_to_peak_s") (field name c "time_to_peak_s") in
+      Printf.printf
+        "  %-8s cycles %9d -> %9d (%+.2f%%)  time-to-peak %.3f -> %.3f ms\n"
+        name bcy ccy d (bt *. 1e3) (ct *. 1e3);
+      if d > tol then regressions := (name, d) :: !regressions)
+    tier_strategies;
+  match !regressions with
+  | [] ->
+    Printf.printf "compare-tier: OK (%d strategies, tolerance %.1f%%)\n"
+      (List.length tier_strategies) tol
+  | rs ->
+    List.iter
+      (fun (name, d) ->
+        Printf.eprintf
+          "FAIL tier: total_cycles of %s regressed %.2f%% (> %.1f%%)\n" name d
+          tol)
+      (List.rev rs);
+    exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if args = [] then begin
     prerr_endline
       "usage: validate_bench [--trace FILE | --remarks FILE | --profile \
-       FILE | --sentinel FILE | BENCH_*.json] ...\n\
+       FILE | --sentinel FILE | --tier FILE | BENCH_*.json] ...\n\
       \       [--sentinel-min-divergences N] [--sentinel-min-demotions N]\n\
       \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT] \
-       [--tol-mips PCT]";
+       [--tol-mips PCT]\n\
+      \       validate_bench compare-tier BASELINE.json CURRENT.json \
+       [--tol PCT]";
     exit 2
   end;
   let failed = ref false in
@@ -496,6 +626,28 @@ let () =
           "usage: validate_bench compare BASELINE.json CURRENT.json \
            [--tol PCT] [--tol-mips PCT]";
         exit 2)
+   | "compare-tier" :: rest ->
+     let tol = ref 0.0 in
+     let files = ref [] in
+     let rec go = function
+       | "--tol" :: t :: tl -> tol := float_of_string t; go tl
+       | "--tol" :: [] ->
+         prerr_endline "--tol needs a percentage argument";
+         exit 2
+       | f :: tl -> files := f :: !files; go tl
+       | [] -> ()
+     in
+     go rest;
+     (match List.rev !files with
+      | [ base; cur ] -> (
+        try compare_tier ~tol:!tol base cur with
+        | Bad m -> Printf.eprintf "FAIL %s\n" m; exit 1
+        | Sys_error m -> Printf.eprintf "FAIL %s\n" m; exit 1)
+      | _ ->
+        prerr_endline
+          "usage: validate_bench compare-tier BASELINE.json CURRENT.json \
+           [--tol PCT]";
+        exit 2)
    | _ ->
      (* thresholds apply to every --sentinel file, wherever they appear
         on the command line, so hoist them before the file sweep *)
@@ -524,7 +676,9 @@ let () =
          checked "sentinel" f
            (check_sentinel ~min_divergences:!min_div ~min_demotions:!min_dem);
          go tl
-       | ("--trace" | "--remarks" | "--profile" | "--sentinel") :: [] ->
+       | "--tier" :: f :: tl -> checked "tier" f check_tier; go tl
+       | ("--trace" | "--remarks" | "--profile" | "--sentinel" | "--tier")
+         :: [] ->
          prerr_endline "flag needs a file argument";
          exit 2
        | f :: tl -> checked "bench" f check_bench; go tl
