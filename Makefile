@@ -1,6 +1,6 @@
 # Convenience targets; CI runs `make ci`.
 
-.PHONY: all build test bench bench-quick bench-mips bench-tier trace profile fuzz fuzz-smoke examples ci clean
+.PHONY: all build test bench bench-quick bench-mips bench-tier report blackbox-smoke trace profile fuzz fuzz-smoke examples ci clean
 
 all: build
 
@@ -35,6 +35,25 @@ bench-tier:
 	dune exec tools/validate_bench.exe -- --tier _bench/BENCH_tier.json
 	dune exec tools/validate_bench.exe -- compare-tier \
 	  bench/baselines/BENCH_tier.json _bench/BENCH_tier.json
+
+# Consolidated observability status view under a deterministic
+# saboteur fault: engine counters, sentinel health, quarantine
+# registry and the flight-recorder tail on one page (DESIGN.md §12).
+report:
+	dune exec bin/obrew_cli.exe -- report --sz 9 --requests 6 \
+	  --sentinel 2/2 --fault 'sabotage.rewrite.item:0:1' --events 16
+
+# Crash-forensics drill: a sabotaged rewrite must leave a
+# schema-valid black-box report whose flight tail carries the causal
+# chain inject -> divergence -> quarantine -> demote, in order.
+blackbox-smoke:
+	dune exec bin/obrew_cli.exe -- stencil --sz 9 --iters 2 \
+	  --mode dbrew-llvm --sentinel 2/2 --requests 8 \
+	  --fault 'sabotage.rewrite.item:0:1' --blackbox
+	dune exec tools/validate_bench.exe -- \
+	  --blackbox-require-chain \
+	  fault.sabotaged,sentinel.divergence,sentinel.quarantine,sentinel.demote \
+	  --blackbox _bench/blackbox.json
 
 # Chrome-trace of the full pipeline on the Jacobi case study: load
 # trace.json at chrome://tracing or ui.perfetto.dev.

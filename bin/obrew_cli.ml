@@ -152,12 +152,25 @@ let tier_arg =
                patched without a global flush. ITERS becomes the slice \
                count; KIND/STYLE is the dominant (hot) kernel.")
 
+let blackbox_arg =
+  Arg.(value & opt ~vopt:(Some "_bench/blackbox.json") (some string) None
+       & info [ "blackbox" ] ~docv:"FILE"
+         ~doc:"On any typed error, sentinel divergence or uncaught \
+               exception, write a schema-versioned black-box crash \
+               report (flight-recorder tail, engine/cache stats, \
+               sentinel health, quarantine registry, active spans, \
+               fault provenance) to FILE (default \
+               _bench/blackbox.json); '-' for stdout.")
+
 module Tel = Obrew_telemetry.Telemetry
 module Prov = Obrew_provenance.Provenance
 module Sen = Obrew_sentinel.Sentinel
 module SenH = Obrew_sentinel.Health
 module Srepro = Obrew_sentinel.Srepro
 module Tier = Obrew_tier.Tier
+module Flight = Obrew_observe.Flight
+module Blackbox = Obrew_observe.Blackbox
+module Quarantine = Obrew_fault.Quarantine
 
 let provenance_setup profile profile_out annotate remarks =
   if profile <> None || profile_out <> None || annotate <> None
@@ -244,7 +257,7 @@ let print_stats (env : Modes.env) =
 (* machine-readable twin of [print_stats]: the same engine counters in
    the shape CI archives as an artifact (schema shared with the
    "superblocks" object in BENCH_*.json) *)
-let write_stats_json (env : Modes.env) (dest : string) =
+let engine_stats_json (env : Modes.env) =
   let open Obrew_x86 in
   let s = Cpu.cache_stats env.Modes.img.Image.cpu in
   let jint k v = Printf.sprintf "  %S: %d" k v in
@@ -267,7 +280,10 @@ let write_stats_json (env : Modes.env) (dest : string) =
         jint "flag_materialized" s.Cpu.flag_materialized;
         jint "flag_dead_writes" s.Cpu.flag_dead_writes ]
   in
-  let text = "{\n" ^ body ^ "\n}\n" in
+  "{\n" ^ body ^ "\n}\n"
+
+let write_stats_json (env : Modes.env) (dest : string) =
+  let text = engine_stats_json env in
   if dest = "-" then print_string text
   else begin
     let oc = open_out dest in
@@ -276,16 +292,78 @@ let write_stats_json (env : Modes.env) (dest : string) =
     Printf.eprintf "engine stats written to %s\n" dest
   end
 
+let robust_json () =
+  let s = Robust.stats in
+  Printf.sprintf
+    "{\"safe_runs\": %d, \"degraded\": %d, \"attempts\": %d, \
+     \"failures\": %d, \"dropped_passes\": %d, \"sentinel_checks\": %d, \
+     \"sentinel_divergences\": %d, \"sentinel_quarantined\": %d, \
+     \"sentinel_demotions\": %d, \"sentinel_healed\": %d}"
+    s.Robust.safe_runs s.Robust.degraded s.Robust.attempts s.Robust.failures
+    s.Robust.dropped_passes s.Robust.sentinel_checks
+    s.Robust.sentinel_divergences s.Robust.sentinel_quarantined
+    s.Robust.sentinel_demotions s.Robust.sentinel_healed
+
+(* Wire the crash-report section registry: the black box lives below
+   every subsystem it reports on, so each section is a thunk the CLI
+   registers once the environment exists.  Providers read state — they
+   must never mutate or raise. *)
+let register_blackbox (env : Modes.env) =
+  Blackbox.attribution :=
+    (fun a ->
+       match Prov.guest_of_host a with
+       | Some p ->
+         Some (Printf.sprintf "{\"guest_addr\": %d}" (Prov.addr p))
+       | None -> None);
+  Blackbox.register_section "engine" (fun () -> engine_stats_json env);
+  Blackbox.register_section "memo" (fun () ->
+      let mh, mm = Modes.memo_stats env in
+      let dh, dm = Obrew_dbrew.Api.memo_stats () in
+      Printf.sprintf
+        "{\"transform_hits\": %d, \"transform_misses\": %d, \
+         \"dbrew_hits\": %d, \"dbrew_misses\": %d}"
+        mh mm dh dm);
+  Blackbox.register_section "robust" (fun () -> robust_json ());
+  Blackbox.register_section "sentinel" (fun () -> Sen.stats_json ());
+  Blackbox.register_section "health" (fun () -> Sen.health_json ());
+  Blackbox.register_section "quarantine" (fun () -> Quarantine.to_json ());
+  Blackbox.register_section "fault" (fun () ->
+      Printf.sprintf
+        "{\"active\": %b, \"fired\": %d, \"sabotaged\": %d, \"plan\": \"%s\"}"
+        (Obrew_fault.Fault.active ())
+        (Obrew_fault.Fault.fired ())
+        (Obrew_fault.Fault.sabotaged ())
+        (Tel.json_escape
+           (Obrew_fault.Fault.pp_plan !Obrew_fault.Fault.current)))
+
+let blackbox_write dest ~reason ?stage ?addr ~detail () =
+  match dest with
+  | None -> ()
+  | Some "-" -> print_string (Blackbox.report ?stage ?addr ~reason ~detail ())
+  | Some path -> (
+    try
+      (match Filename.dirname path with
+       | "." | "/" | "" -> ()
+       | d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755);
+      Blackbox.write ~reason ?stage ?addr ~detail path;
+      Printf.eprintf "black-box report written to %s\n" path
+    with Sys_error m | Unix.Unix_error (_, m, _) ->
+      Printf.eprintf "black-box write failed: %s\n" m)
+
 (* the --tier path of the stencil command: run a partially-hot sliced
    workload under the adaptive controller and report the tiering
    trajectory (and, with --verify, check the result against a
    never-tiering control run) *)
 let run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
-    ~verify =
+    ~verify ~blackbox =
   let cfg =
     { Tier.default_config with
       Tier.hot_threshold = threshold; out_dir = Some sentinel_out }
   in
+  (* the controller's site table only exists once the run returns; the
+     section thunk reads whatever the last completed run left behind *)
+  let last_sites = ref [] in
+  Blackbox.register_section "tier" (fun () -> Tier.sites_json !last_sites);
   let cold =
     List.filter_map
       (fun k -> if k = kind then None else Some (k, style))
@@ -296,6 +374,7 @@ let run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
   in
   Sen.log := prerr_endline;
   let r = Tier.run ~cfg env ~schedule ~strategy:Tier.Tiered in
+  last_sites := r.Tier.r_sites;
   Printf.printf
     "tier: %d slice(s), hot %s/%s, threshold %d (x%d for warm->hot)\n"
     (Array.length schedule) (Modes.kind_name kind) (Modes.style_name style)
@@ -337,6 +416,8 @@ let run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
         (Array.length r.Tier.r_result)
     else begin
       Printf.eprintf "verify: final matrix DIFFERS from never-tier control\n";
+      blackbox_write blackbox ~reason:Blackbox.Sentinel_divergence
+        ~detail:"tiered final matrix differs from never-tier control" ();
       exit 1
     end
   end
@@ -344,11 +425,32 @@ let run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
 let stencil_cmd =
   let run sz iters kind style tr dump stats stats_json fallback max_insns
       fault trace metrics profile profile_out annotate remarks sentinel
-      requests sentinel_json sentinel_out verify tier =
+      requests sentinel_json sentinel_out verify tier blackbox =
     install_fault_plan fault;
     telemetry_setup trace metrics;
     provenance_setup profile profile_out annotate remarks;
     let env = Modes.build ~sz () in
+    register_blackbox env;
+    (* post-mortem triggers: a clean exit with caught divergences is
+       still an incident worth a report *)
+    let bb_finish () =
+      if Robust.stats.Robust.sentinel_divergences > 0 then
+        blackbox_write blackbox ~reason:Blackbox.Sentinel_divergence
+          ~detail:
+            (Printf.sprintf "%d divergence(s) caught by the sentinel"
+               Robust.stats.Robust.sentinel_divergences)
+          ()
+      else if blackbox <> None then
+        Printf.eprintf "black-box: no incident, report not written\n"
+    in
+    let guard f =
+      try f () with
+      | Err.Error _ as e -> raise e
+      | e ->
+        blackbox_write blackbox ~reason:Blackbox.Uncaught_exception
+          ~detail:(Printexc.to_string e) ();
+        raise e
+    in
     match tier with
     | Some spec ->
       let threshold =
@@ -359,8 +461,9 @@ let stencil_cmd =
             spec;
           exit 2
       in
-      run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
-        ~verify;
+      guard (fun () ->
+          run_tiered env ~iters ~kind ~style ~threshold ~sentinel_out ~stats
+            ~verify ~blackbox);
       print_endline (Sen.stats_to_string ());
       (match sentinel_json with
        | None -> ()
@@ -371,10 +474,12 @@ let stencil_cmd =
       (match stats_json with
        | Some dest -> write_stats_json env dest
        | None -> ());
+      bb_finish ();
       provenance_finish profile profile_out remarks;
       telemetry_finish trace metrics
     | None ->
     (try
+       guard @@ fun () ->
        let kernel, used, dt =
          match sentinel with
          | Some spec ->
@@ -394,14 +499,14 @@ let stencil_cmd =
              { SenH.default_policy with SenH.first_k; sample_n }
            in
            Sen.log := prerr_endline;
-           let t0 = Unix.gettimeofday () in
+           let t0 = Tel.Clock.now () in
            let last = ref None in
            for _ = 1 to max 1 requests do
              last :=
                Some (Sen.serve ~policy ~out_dir:sentinel_out env kind style tr)
            done;
            let sv = Option.get !last in
-           (sv.Sen.sv_kernel, sv.Sen.sv_mode, Unix.gettimeofday () -. t0)
+           (sv.Sen.sv_kernel, sv.Sen.sv_mode, Tel.Clock.now () -. t0)
          | None ->
            if fallback then begin
              let r = Modes.transform_safe env kind style tr in
@@ -442,6 +547,8 @@ let stencil_cmd =
              (Array.length got)
          else begin
            Printf.eprintf "verify: final matrix DIFFERS from Native\n";
+           blackbox_write blackbox ~reason:Blackbox.Sentinel_divergence
+             ~detail:"final matrix differs from the Native reference" ();
            telemetry_finish trace metrics;
            exit 1
          end
@@ -469,8 +576,12 @@ let stencil_cmd =
               ~fn ())
      with Err.Error e ->
        Printf.eprintf "transformation failed: %s\n" (Err.to_string e);
+       blackbox_write blackbox ~reason:Blackbox.Typed_error
+         ~stage:(Err.stage_name e.Err.stage) ?addr:e.Err.addr
+         ~detail:(Err.to_string e) ();
        telemetry_finish trace metrics;
        exit 1);
+    bb_finish ();
     provenance_finish profile profile_out remarks;
     telemetry_finish trace metrics
   in
@@ -481,7 +592,102 @@ let stencil_cmd =
           $ fallback_arg $ max_insns_arg $ fault_arg $ trace_arg
           $ metrics_arg $ profile_arg $ profile_out_arg $ annotate_arg
           $ remarks_arg $ sentinel_arg $ requests_arg $ sentinel_json_arg
-          $ sentinel_out_arg $ verify_arg $ tier_arg)
+          $ sentinel_out_arg $ verify_arg $ tier_arg $ blackbox_arg)
+
+(* the consolidated human-readable status view: run a short sentinel
+   workload (so the per-process registries have something in them),
+   then render every observability surface in one page — engine
+   counters, sentinel health, quarantine registry and the flight
+   recorder's tail.  With --json, also snapshot the same state as a
+   manual black-box report. *)
+let report_cmd =
+  let json_arg =
+    Arg.(value & opt ~vopt:(Some "-") (some string) None
+         & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write a manual black-box snapshot of the same \
+                 state to FILE ('-' for stdout).")
+  in
+  let events_arg =
+    Arg.(value & opt int 20 & info [ "events" ] ~docv:"N"
+           ~doc:"Flight-recorder tail length to print (default 20).")
+  in
+  let run sz iters kind style tr fault sentinel requests sentinel_out json
+      events_n =
+    install_fault_plan fault;
+    let env = Modes.build ~sz () in
+    register_blackbox env;
+    let spec = Option.value ~default:"4/64" sentinel in
+    let first_k, sample_n =
+      let bad () =
+        Printf.eprintf "bad --sentinel spec %S (want K/N)\n" spec;
+        exit 2
+      in
+      match String.split_on_char '/' spec with
+      | [ k; n ] -> (
+        match (int_of_string_opt k, int_of_string_opt n) with
+        | Some k, Some n when k >= 0 && n >= 0 -> (k, n)
+        | _ -> bad ())
+      | _ -> bad ()
+    in
+    let policy = { SenH.default_policy with SenH.first_k; sample_n } in
+    Sen.log := prerr_endline;
+    (try
+       let last = ref None in
+       for _ = 1 to max 1 requests do
+         last :=
+           Some (Sen.serve ~policy ~out_dir:sentinel_out env kind style tr)
+       done;
+       match !last with
+       | Some sv ->
+         ignore (Modes.run env kind style ~kernel:sv.Sen.sv_kernel ~iters)
+       | None -> ()
+     with Err.Error e ->
+       Printf.eprintf "workload failed: %s\n" (Err.to_string e));
+    print_endline "== obrew status report ==";
+    Printf.printf
+      "workload: sz=%d iters=%d, %s/%s requested as %s, %d sentinel \
+       serve(s) (%d/%d sampling)\n"
+      sz iters (Modes.kind_name kind) (Modes.style_name style)
+      (Modes.transform_name tr) (max 1 requests) first_k sample_n;
+    print_newline ();
+    print_endline "-- engine --";
+    print_stats env;
+    print_newline ();
+    print_endline "-- sentinel --";
+    print_endline (Sen.stats_to_string ());
+    List.iter (fun l -> print_endline ("  " ^ l)) (Sen.health_lines ());
+    print_newline ();
+    print_endline "-- quarantine --";
+    (match Quarantine.entries () with
+     | [] -> print_endline "  (empty)"
+     | es ->
+       List.iter
+         (fun e ->
+           Printf.printf "  [tick %3d] %s  %-10s %s\n" e.Quarantine.q_tick
+             (Digest.to_hex e.Quarantine.q_digest) e.Quarantine.q_mode
+             e.Quarantine.q_detail)
+         es);
+    print_newline ();
+    Printf.printf "-- flight recorder (last %d of %d event(s), %d dropped) --\n"
+      (min events_n (Flight.retained ()))
+      (Flight.recorded ()) (Flight.dropped ());
+    List.iter
+      (fun e -> print_endline ("  " ^ Flight.event_to_string e))
+      (Flight.last events_n);
+    match json with
+    | None -> ()
+    | Some _ ->
+      blackbox_write json ~reason:Blackbox.Manual
+        ~detail:"manual status snapshot (obrew report)" ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run a short sentinel workload and render the consolidated \
+             observability status view (engine, sentinel health, \
+             quarantine, flight-recorder tail).")
+    Term.(const run $ sz_arg $ iters_arg $ kind_arg $ style_arg
+          $ transform_arg $ fault_arg $ sentinel_arg $ requests_arg
+          $ sentinel_out_arg $ json_arg $ events_arg)
 
 let modes_cmd =
   let run sz iters style stats fault trace metrics =
@@ -761,4 +967,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "obrew" ~version:"1.0.0" ~doc)
-          [ stencil_cmd; modes_cmd; fig6_cmd; passes_cmd; fuzz_cmd ]))
+          [ stencil_cmd; modes_cmd; fig6_cmd; passes_cmd; fuzz_cmd;
+            report_cmd ]))

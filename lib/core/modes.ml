@@ -20,6 +20,7 @@ open Obrew_dbrew
 open Obrew_stencil
 open Obrew_fault
 module Tel = Obrew_telemetry.Telemetry
+module Flight = Obrew_observe.Flight
 
 type kind = Direct | Flat | Sorted
 type style = Element | Line
@@ -151,7 +152,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
     (style : style) (t : transform) : int * float =
   let sg = kernel_sig style in
   let orig = native_addr env kind style in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Tel.Clock.now () in
   (* apply the resource-guard bundle to every stage it covers *)
   let lift_config =
     match guards with
@@ -213,7 +214,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
   | Some addr ->
     env.memo_hits <- env.memo_hits + 1;
     Tel.incr_c c_memo_hit;
-    (addr, Unix.gettimeofday () -. t0)
+    (addr, Tel.Clock.now () -. t0)
   | None ->
   if use_memo then begin
     env.memo_misses <- env.memo_misses + 1;
@@ -295,7 +296,7 @@ let transform ?(use_memo = true) ?(lift_config = Lift.default_config)
       staged Err.Encode (fun () -> Jit.install_func env.img f)))
   in
   (match key with Some k -> Hashtbl.replace env.memo k addr | None -> ());
-  (addr, Unix.gettimeofday () -. t0)
+  (addr, Tel.Clock.now () -. t0)
 
 (* ------------------------------------------------------------------ *)
 (* Graceful degradation                                                *)
@@ -336,7 +337,7 @@ let chain_from = function
     is the original binary and cannot fail. *)
 let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
     (kind : kind) (style : style) (t : transform) : safe_result =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Tel.Clock.now () in
   Robust.stats.Robust.safe_runs <- Robust.stats.Robust.safe_runs + 1;
   let rec go failures = function
     | [] ->
@@ -346,8 +347,11 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
       if !Tel.enabled then
         Tel.instant "fallback.landed"
           ~args:(transform_name Native ^ " (degraded)");
+      Flight.(
+        emit Fallback_landed ~subject:(transform_name Native)
+          ~detail:"degraded");
       { kernel = native_addr env kind style; used = Native;
-        seconds = Unix.gettimeofday () -. t0;
+        seconds = Tel.Clock.now () -. t0;
         failures = List.rev failures; dropped = [] }
     | m :: rest -> (
       Robust.record_attempt ();
@@ -356,6 +360,7 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
       inflight_stage := Err.Encode;
       if !Tel.enabled then
         Tel.instant "fallback.attempt" ~args:(transform_name m);
+      Flight.(emit Fallback_attempt ~subject:(transform_name m));
       match transform ?use_memo ?lift_config ?opt ?checked ?guards
               env kind style m with
       | addr, _ ->
@@ -364,8 +369,11 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
           Tel.instant "fallback.landed"
             ~args:
               (transform_name m ^ if m <> t then " (degraded)" else "");
+        Flight.(
+          emit Fallback_landed ~a:addr ~subject:(transform_name m)
+            ~detail:(if m <> t then "degraded" else ""));
         { kernel = addr; used = m;
-          seconds = Unix.gettimeofday () -. t0;
+          seconds = Tel.Clock.now () -. t0;
           failures = List.rev failures; dropped = env.last_dropped }
       | exception Err.Error e ->
         Robust.record_failure e;
@@ -374,6 +382,9 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
             ~args:
               (Printf.sprintf "%s: %s" (transform_name m)
                  (Err.stage_name e.Err.stage));
+        Flight.(
+          emit Fallback_failure ~subject:(transform_name m)
+            ~detail:(Err.stage_name e.Err.stage));
         go ((m, e) :: failures) rest
       | exception exn ->
         (* anything untyped that escapes is still a recorded failure,
@@ -386,6 +397,9 @@ let transform_safe ?use_memo ?lift_config ?opt ?checked ?guards (env : env)
             ~args:
               (Printf.sprintf "%s: %s" (transform_name m)
                  (Err.stage_name e.Err.stage));
+        Flight.(
+          emit Fallback_failure ~subject:(transform_name m)
+            ~detail:(Err.stage_name e.Err.stage));
         go ((m, e) :: failures) rest)
   in
   go [] (chain_from t)

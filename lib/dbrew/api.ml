@@ -150,6 +150,9 @@ let dbrew_rewrite ?(memo = true) (r : t) : int =
       (match key with
        | Some k -> Hashtbl.replace memo_tbl k (addr, items)
        | None -> ());
+      Obrew_observe.Flight.(
+        emit Dbrew_rewrite ~a:r.entry ~b:addr
+          ~detail:(Printf.sprintf "%d items" (List.length items)));
       addr
     | exception Err.Error e -> (
       r.last_error <- Some e;

@@ -38,7 +38,7 @@ type rw = {
   cfg : config;
   mem : Mem.t;                             (* the image's memory *)
   scratch : Cpu.t;                         (* for exact emulation *)
-  deadline : float;                        (* absolute Sys.time bound *)
+  deadline : float;                        (* absolute Telemetry.Clock bound *)
   mutable out : item list;                 (* reversed *)
   mutable emitted : int;
   mutable next_label : int;
@@ -61,7 +61,9 @@ let emit rw i =
   if rw.emitted > rw.cfg.max_emit then
     fail "emission budget of %d instructions exceeded" rw.cfg.max_emit;
   (* wall-clock deadline, checked coarsely to keep emission cheap *)
-  if rw.emitted land 255 = 0 && Sys.time () > rw.deadline then
+  if rw.emitted land 255 = 0
+     && Obrew_telemetry.Telemetry.Clock.now () > rw.deadline
+  then
     fail "rewrite deadline of %.1fs exceeded" rw.cfg.max_seconds;
   rw.out <- I i :: rw.out
 
@@ -863,7 +865,8 @@ let rewrite ~(cfg : config) ~(mem : Mem.t) ~entry : item list =
   Fault.point ~addr:entry "rewrite.trace";
   let rw =
     { cfg; mem; scratch = Cpu.create ();
-      deadline = Sys.time () +. cfg.max_seconds; out = []; emitted = 0;
+      deadline = Obrew_telemetry.Telemetry.Clock.now () +. cfg.max_seconds;
+      out = []; emitted = 0;
       next_label = 0;
       labels = Hashtbl.create 32; work = Queue.create () }
   in

@@ -146,6 +146,9 @@ let point ?addr name =
         incr fired_count;
         if !Obrew_telemetry.Telemetry.enabled then
           Obrew_telemetry.Telemetry.instant "fault.injected" ~args:name;
+        Obrew_observe.Flight.(
+          emit Fault_injected ~a:(Option.value ~default:0 addr)
+            ~subject:name);
         raise
           (Err.Error
              { stage = stage_of_point name; addr;
@@ -171,6 +174,7 @@ let point_untyped name =
         incr fired_count;
         if !Obrew_telemetry.Telemetry.enabled then
           Obrew_telemetry.Telemetry.instant "fault.injected" ~args:name;
+        Obrew_observe.Flight.(emit Fault_injected ~subject:name);
         failwith ("injected: untyped fault at " ^ name)
       end)
 
@@ -196,6 +200,7 @@ let sabotage name =
         incr sabotaged_count;
         if !Obrew_telemetry.Telemetry.enabled then
           Obrew_telemetry.Telemetry.instant "fault.sabotaged" ~args:name;
+        Obrew_observe.Flight.(emit Fault_sabotaged ~subject:name);
         true
       end
       else false)

@@ -22,9 +22,13 @@ let blocked_count = ref 0
 
 (** Blacklist [digest]; the first quarantine of a digest wins. *)
 let add ~digest ~mode ~detail ~tick =
-  if not (Hashtbl.mem table digest) then
+  if not (Hashtbl.mem table digest) then begin
     Hashtbl.replace table digest
-      { q_digest = digest; q_mode = mode; q_detail = detail; q_tick = tick }
+      { q_digest = digest; q_mode = mode; q_detail = detail; q_tick = tick };
+    Obrew_observe.Flight.(
+      emit Sentinel_quarantine ~a:tick ~subject:(Digest.to_hex digest)
+        ~detail:(mode ^ ": " ^ detail))
+  end
 
 let mem digest = Hashtbl.mem table digest
 let find digest = Hashtbl.find_opt table digest
@@ -44,3 +48,19 @@ let blocked () = !blocked_count
 let clear () =
   Hashtbl.reset table;
   blocked_count := 0
+
+(** JSON array of the registry, oldest quarantine first — the
+    black-box report's "quarantine" section. *)
+let to_json () =
+  let esc = Obrew_telemetry.Telemetry.json_escape in
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun e ->
+           Printf.sprintf
+             "{\"digest\": \"%s\", \"mode\": \"%s\", \"detail\": \"%s\", \
+              \"tick\": %d}"
+             (Digest.to_hex e.q_digest) (esc e.q_mode) (esc e.q_detail)
+             e.q_tick)
+         (entries ()))
+  ^ "]"

@@ -1,0 +1,123 @@
+(** Crash forensics: schema-versioned black-box reports.
+
+    A report is one JSON document answering "what was the system doing
+    when it went wrong": the reason (typed error / sentinel divergence
+    / uncaught exception / manual snapshot), the faulting stage and
+    guest address when there is one, the flight-recorder tail, the
+    currently-open telemetry spans, and a set of named *sections*
+    contributed by whoever owns interesting global state.
+
+    Layering: this module sits just above telemetry, below every
+    producer, so it cannot reach into sentinel/tier/quarantine state
+    itself.  Instead producers (or the CLI, which links everything)
+    register section providers — a name plus a thunk returning a JSON
+    value — and the report snapshots every registered section at build
+    time.  A provider that raises contributes an error string rather
+    than killing the report: forensics code must never turn one crash
+    into two. *)
+
+module Tel = Obrew_telemetry.Telemetry
+
+let schema_version = 1
+
+type reason =
+  | Typed_error
+  | Sentinel_divergence
+  | Uncaught_exception
+  | Manual
+
+let reason_name = function
+  | Typed_error -> "typed-error"
+  | Sentinel_divergence -> "sentinel-divergence"
+  | Uncaught_exception -> "uncaught-exception"
+  | Manual -> "manual"
+
+(* ------------------------------------------------------------------ *)
+(* Section registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Ordered association list; re-registering a name replaces the
+   provider in place so repeated CLI invocations stay idempotent. *)
+let sections : (string * (unit -> string)) list ref = ref []
+
+(** [register_section name f] makes [f ()] — which must return a
+    valid JSON *value* (object, array, string…) — part of every
+    subsequent report under key [name]. *)
+let register_section name f =
+  if List.mem_assoc name !sections then
+    sections :=
+      List.map (fun (n, g) -> if n = name then (n, f) else (n, g)) !sections
+  else sections := !sections @ [ (name, f) ]
+
+let unregister_section name =
+  sections := List.filter (fun (n, _) -> n <> name) !sections
+
+let section_names () = List.map fst !sections
+
+(* ------------------------------------------------------------------ *)
+(* Report assembly                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Guest-address attribution hook: the CLI points this at
+    [Provenance.guest_of_host]-style lookup so a faulting address can
+    be mapped back to the pre-rewrite guest instruction that produced
+    the code.  Returns a JSON object string, or None. *)
+let attribution : (int -> string option) ref = ref (fun _ -> None)
+
+let default_tail = 64
+
+(** Build a report.  [last] bounds the flight-event tail; [stage],
+    [addr] and [detail] describe the fault when there is one. *)
+let report ?(last = default_tail) ?stage ?addr ~reason ~detail () =
+  let buf = Buffer.create 4096 in
+  let add = Buffer.add_string buf in
+  add "{\n";
+  add (Printf.sprintf "  \"schema_version\": %d,\n" schema_version);
+  add (Printf.sprintf "  \"reason\": \"%s\",\n" (reason_name reason));
+  add (Printf.sprintf "  \"detail\": \"%s\",\n" (Tel.json_escape detail));
+  (match stage with
+   | Some s -> add (Printf.sprintf "  \"stage\": \"%s\",\n" (Tel.json_escape s))
+   | None -> ());
+  (match addr with
+   | Some a ->
+     add (Printf.sprintf "  \"fault_addr\": %d,\n" a);
+     (match (try !attribution a with _ -> None) with
+      | Some j -> add (Printf.sprintf "  \"fault_origin\": %s,\n" j)
+      | None -> ())
+   | None -> ());
+  (* currently-open telemetry spans, innermost first *)
+  add "  \"active_spans\": [";
+  add
+    (String.concat ", "
+       (List.map
+          (fun s -> Printf.sprintf "\"%s\"" (Tel.json_escape s))
+          (Tel.active_spans ())));
+  add "],\n";
+  (* flight-recorder tail *)
+  add "  \"flight\": {\n";
+  add (Printf.sprintf "    \"recorded\": %d,\n" (Flight.recorded ()));
+  add (Printf.sprintf "    \"dropped\": %d,\n" (Flight.dropped ()));
+  add (Printf.sprintf "    \"events\": %s\n" (Flight.to_json ~n:last ()));
+  add "  },\n";
+  (* registered sections *)
+  add "  \"sections\": {\n";
+  let rendered =
+    List.map
+      (fun (name, f) ->
+        let v =
+          try f ()
+          with e ->
+            Printf.sprintf "{\"error\": \"%s\"}"
+              (Tel.json_escape (Printexc.to_string e))
+        in
+        Printf.sprintf "    \"%s\": %s" (Tel.json_escape name) v)
+      !sections
+  in
+  add (String.concat ",\n" rendered);
+  add "\n  }\n}\n";
+  Buffer.contents buf
+
+let write ?(last = default_tail) ?stage ?addr ~reason ~detail path =
+  let oc = open_out path in
+  output_string oc (report ~last ?stage ?addr ~reason ~detail ());
+  close_out oc

@@ -37,6 +37,7 @@ module Err = Obrew_fault.Err
 module Guards = Obrew_fault.Guards
 module Quarantine = Obrew_fault.Quarantine
 module Tel = Obrew_telemetry.Telemetry
+module Flight = Obrew_observe.Flight
 module H = Health
 
 let c_checks = Tel.counter "sentinel.checks"
@@ -180,18 +181,25 @@ let describe_outcome = function
 let shadow_check ?(salt = 1) env kind style ~(kernel : int) : outcome =
   let native = Modes.native_addr env kind style in
   let args = probe_args env kind style ~salt in
-  Tel.span "sentinel.check"
-    ~args:(Modes.kind_name kind ^ "/" ^ Modes.style_name style)
-    (fun () ->
-      match observe env ~args ~fn_of:(fun _ -> native) with
-      | Error e -> Ref_skip e
-      | Ok ref_o -> (
-        match observe env ~args ~fn_of:(fun _ -> kernel) with
-        | Error e -> Shadow_fault e
-        | Ok got -> (
-          match compare_obs ref_o got with
-          | Some dv -> Diverged dv
-          | None -> Clean)))
+  let oc =
+    Tel.span "sentinel.check"
+      ~args:(Modes.kind_name kind ^ "/" ^ Modes.style_name style)
+      (fun () ->
+        match observe env ~args ~fn_of:(fun _ -> native) with
+        | Error e -> Ref_skip e
+        | Ok ref_o -> (
+          match observe env ~args ~fn_of:(fun _ -> kernel) with
+          | Error e -> Shadow_fault e
+          | Ok got -> (
+            match compare_obs ref_o got with
+            | Some dv -> Diverged dv
+            | None -> Clean)))
+  in
+  Flight.(
+    emit Sentinel_probe ~a:kernel ~b:(now ())
+      ~subject:(Modes.kind_name kind ^ "/" ^ Modes.style_name style)
+      ~detail:(describe_outcome oc));
+  oc
 
 (* ---------- reproducer persistence ---------- *)
 
@@ -332,6 +340,9 @@ let condemn ~out_dir env (req : req) (mode : Modes.transform) (kernel : int)
   let detail = describe_outcome oc in
   Robust.record_sentinel_divergence ();
   Tel.incr_c c_divergences;
+  Flight.(
+    emit Sentinel_divergence ~a:kernel ~b:(now ())
+      ~subject:(Modes.transform_name mode) ~detail);
   logf "divergence in %s kernel for %s/%s (%s)" (Modes.transform_name mode)
     (Modes.kind_name req.rq_kind)
     (Modes.style_name req.rq_style)
@@ -392,6 +403,9 @@ let rec acquire ~(policy : H.policy) ?guards ~out_dir env (req : req)
       condemn ~out_dir env req used kernel oc;
       Robust.record_sentinel_demotion ();
       Tel.incr_c c_demotions;
+      Flight.(
+        emit Sentinel_demote ~b:(now ()) ~subject:req.rq_key
+          ~detail:("from " ^ Modes.transform_name used));
       match Modes.chain_from used with
       | _ :: (next :: _) ->
         logf "demoted %s/%s %s -> %s" (Modes.kind_name req.rq_kind)
@@ -470,6 +484,10 @@ let serve ?(policy = H.default_policy) ?guards ?out_dir env kind style
     if not (demoted req) then begin
       Robust.record_sentinel_heal ();
       Tel.incr_c c_healed;
+      Flight.(
+        emit Sentinel_heal ~a:req.rq_heal_attempts ~b:(now ())
+          ~subject:req.rq_key
+          ~detail:("back to " ^ Modes.transform_name req.rq_mode));
       logf "healed %s/%s back to %s after %d attempt(s)" (Modes.kind_name kind)
         (Modes.style_name style)
         (Modes.transform_name req.rq_mode)
@@ -519,6 +537,9 @@ let serve ?(policy = H.default_policy) ?guards ?out_dir env kind style
           condemn ~out_dir env req req.rq_mode req.rq_kernel oc;
           Robust.record_sentinel_demotion ();
           Tel.incr_c c_demotions;
+          Flight.(
+            emit Sentinel_demote ~b:(now ()) ~subject:req.rq_key
+              ~detail:("from " ^ Modes.transform_name req.rq_mode));
           note_event (describe_outcome oc);
           let lower =
             match Modes.chain_from req.rq_mode with
@@ -591,6 +612,53 @@ let write_stats_json (path : string) =
   let oc = open_out path in
   output_string oc (stats_json ());
   close_out oc
+
+(** Per-request health view: one row per registry entry, sorted by
+    request key — the black-box report's "health" section. *)
+let health_json () =
+  let rows =
+    Hashtbl.fold (fun _ r acc -> r :: acc) requests []
+    |> List.sort (fun a b -> compare a.rq_key b.rq_key)
+  in
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun r ->
+           let state, checks, streak, divergences, faults =
+             match r.rq_health with
+             | Some h ->
+               ( H.state_name h.H.e_state, h.H.e_checks, h.H.e_streak,
+                 h.H.e_divergences, h.H.e_faults )
+             | None -> ("native", 0, 0, 0, 0)
+           in
+           Printf.sprintf
+             "{\"request\": \"%s\", \"mode\": \"%s\", \"state\": \"%s\", \
+              \"demoted\": %b, \"serves\": %d, \"checks\": %d, \
+              \"streak\": %d, \"divergences\": %d, \"faults\": %d, \
+              \"heal_attempts\": %d}"
+             (Tel.json_escape r.rq_key)
+             (Modes.transform_name r.rq_mode)
+             state (demoted r) r.rq_serves checks streak divergences faults
+             r.rq_heal_attempts)
+         rows)
+  ^ "]"
+
+(** One human-readable line per registry entry, for [obrew_cli report]. *)
+let health_lines () =
+  Hashtbl.fold (fun _ r acc -> r :: acc) requests []
+  |> List.sort (fun a b -> compare a.rq_key b.rq_key)
+  |> List.map (fun r ->
+         let state =
+           match r.rq_health with
+           | Some h -> H.state_name h.H.e_state
+           | None -> "native"
+         in
+         Printf.sprintf "%-32s %-10s %-9s %s%d serve(s), %d heal attempt(s)"
+           r.rq_key
+           (Modes.transform_name r.rq_mode)
+           state
+           (if demoted r then "DEMOTED, " else "")
+           r.rq_serves r.rq_heal_attempts)
 
 (* ---------- reproducer replay ---------- *)
 

@@ -14,12 +14,12 @@
     that always count (an unconditional increment is cheaper than the
     branch would be); they are only *read* at export time.
 
-    Clock: spans are stamped with [now_ns], backed by
-    [Unix.gettimeofday].  The container exposes no monotonic-clock
-    binding without adding a dependency, so this is a documented
-    substitution — gettimeofday is monotonic in practice for the
-    millisecond-scale spans recorded here (same substitution DESIGN.md
-    makes for wall-clock benches). *)
+    Clock: spans are stamped with [now_ns], backed by the injectable
+    [Clock] below (default [Unix.gettimeofday]).  The container
+    exposes no monotonic-clock binding without adding a dependency, so
+    this is a documented substitution — gettimeofday is monotonic in
+    practice for the millisecond-scale spans recorded here (same
+    substitution DESIGN.md makes for wall-clock benches). *)
 
 (* ------------------------------------------------------------------ *)
 (* Global switch                                                       *)
@@ -31,7 +31,41 @@ let enabled = ref false
 (* Clock                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let now_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)
+(** The single wall-clock source for the whole pipeline.  Every
+    measurement site (telemetry spans, tier compile timing, the DBrew
+    rewrite deadline, fallback-chain timing) reads [Clock.now] so a
+    test or a forensics replay can substitute a deterministic clock
+    and reproduce byte-identical reports. *)
+module Clock = struct
+  let wall () = Unix.gettimeofday ()
+
+  let source : (unit -> float) ref = ref wall
+
+  (** Seconds since epoch under the installed source. *)
+  let now () = !source ()
+
+  let set f = source := f
+  let reset () = source := wall
+
+  (** Install a deterministic clock that starts at [t0] and advances
+      by [step] seconds per read.  Returns nothing; pair with
+      [reset] (or [with_fixed]) in tests. *)
+  let fix ?(step = 0.0) t0 =
+    let t = ref t0 in
+    set (fun () ->
+        let v = !t in
+        t := v +. step;
+        v)
+
+  (** [with_fixed ?step t0 f] runs [f] under a fixed clock and always
+      restores the previous source. *)
+  let with_fixed ?step t0 f =
+    let prev = !source in
+    fix ?step t0;
+    Fun.protect ~finally:(fun () -> source := prev) f
+end
+
+let now_ns () : int = int_of_float (Clock.now () *. 1e9)
 
 (* ------------------------------------------------------------------ *)
 (* Ring-buffer event sink                                              *)
@@ -86,6 +120,16 @@ let retained () = min sink.next sink.cap
 (* Spans and instants                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* Stack of currently-open span names, innermost first.  Only
+   maintained while enabled; read by the black-box forensics report to
+   answer "where in the pipeline were we when it died".  Spans that
+   unwind via an exception are deliberately left on the stack until
+   [reset] — an uncaught exception's report should show the frames it
+   tore through. *)
+let span_stack : string list ref = ref []
+
+let active_spans () = !span_stack
+
 (** [span name f] times [f ()] and records a complete span.  One
     branch and nothing else when disabled.  The span is recorded even
     if [f] raises (args gains a [!raised] marker), so a trace shows
@@ -94,8 +138,10 @@ let span ?(args = "") name f =
   if not !enabled then f ()
   else begin
     let t0 = now_ns () in
+    span_stack := name :: !span_stack;
     match f () with
     | v ->
+      (match !span_stack with _ :: tl -> span_stack := tl | [] -> ());
       record ~kind:0 ~name ~ts:t0 ~dur:(now_ns () - t0) ~args;
       v
     | exception e ->
@@ -132,12 +178,30 @@ let incr_c (c : counter) = c.n <- c.n + 1
 let add_c (c : counter) k = c.n <- c.n + k
 
 (* ------------------------------------------------------------------ *)
-(* Histograms (log2 buckets)                                           *)
+(* Histograms (HDR-style log-linear buckets)                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Layout: values below [sub_buckets] get one bucket each (exact);
+   above that, each power-of-two octave is split into [sub_buckets]
+   linear sub-buckets, so the relative width of any bucket is at most
+   1/16 = 6.25%.  Plain log2 buckets (the PR 3 scheme) had 2x-wide
+   buckets, which made percentile extraction useless for tail-latency
+   work; the log-linear refinement keeps [bucket_of] allocation-free
+   and branch-light while bounding quantile error.
+
+   Indexing: v in [0, 16)                     -> bucket v
+             v with msb position b (b >= 4)   -> bucket
+               sub_buckets + (b - sub_shift) * sub_buckets + sub
+               where sub = (v >> (b - sub_shift)) & (sub_buckets - 1)
+   On a 63-bit OCaml int msb <= 61, so 960 buckets cover everything. *)
+
+let sub_buckets = 16
+let sub_shift = 4 (* log2 sub_buckets *)
+let num_buckets = sub_buckets + (63 - sub_shift) * sub_buckets (* 960 *)
 
 type histogram = {
   hname : string;
-  buckets : int array; (* bucket b counts values in [2^b, 2^(b+1)) *)
+  buckets : int array; (* [num_buckets] log-linear counts *)
   mutable hcount : int;
   mutable hsum : int;
 }
@@ -148,22 +212,61 @@ let histogram hname =
   match List.find_opt (fun h -> h.hname = hname) !histograms with
   | Some h -> h
   | None ->
-    let h = { hname; buckets = Array.make 63 0; hcount = 0; hsum = 0 } in
+    let h =
+      { hname; buckets = Array.make num_buckets 0; hcount = 0; hsum = 0 }
+    in
     histograms := h :: !histograms;
     h
 
 let bucket_of v =
-  if v <= 0 then 0
+  if v < sub_buckets then max 0 v
   else begin
-    let b = ref 0 and v = ref v in
-    while !v > 1 do v := !v lsr 1; incr b done;
-    min !b 62
+    let b = ref 0 and x = ref v in
+    while !x > 1 do x := !x lsr 1; incr b done;
+    let b = min !b 62 in
+    let sub = (v lsr (b - sub_shift)) land (sub_buckets - 1) in
+    ((b - sub_shift + 1) * sub_buckets) + sub
   end
+
+(** Smallest value falling into bucket [idx] (inverse of [bucket_of]). *)
+let bucket_low idx =
+  if idx < sub_buckets then idx
+  else
+    let b = sub_shift + (idx / sub_buckets) - 1 in
+    let sub = idx mod sub_buckets in
+    (sub_buckets + sub) lsl (b - sub_shift)
+
+(** Number of distinct values mapping to bucket [idx]. *)
+let bucket_width idx =
+  if idx < sub_buckets then 1 else 1 lsl ((idx / sub_buckets) - 1)
 
 let observe (h : histogram) v =
   h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
   h.hcount <- h.hcount + 1;
   h.hsum <- h.hsum + v
+
+(** Exact-rank percentile: returns the upper bound of the bucket
+    holding the rank-ceil(p/100 * count) smallest observation, so for
+    the true rank value [v] the estimate [e] satisfies
+    [v <= e <= v + v/16] (exact below 16).  [p] in (0, 100]. *)
+let percentile (h : histogram) p =
+  if h.hcount = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p /. 100. *. float_of_int h.hcount)) in
+      max 1 (min h.hcount r)
+    in
+    let cum = ref 0 and i = ref 0 in
+    while !cum < rank && !i < num_buckets do
+      cum := !cum + h.buckets.(!i);
+      if !cum < rank then incr i
+    done;
+    let i = min !i (num_buckets - 1) in
+    (* the topmost sub-bucket's upper bound is 2^62, which overflows
+       the OCaml int; saturate instead of returning a negative bound *)
+    let hi = bucket_low i + (bucket_width i - 1) in
+    if hi < 0 then max_int else hi
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -171,6 +274,7 @@ let observe (h : histogram) v =
 
 let reset () =
   sink.next <- 0;
+  span_stack := [];
   List.iter (fun c -> c.n <- 0) !counters;
   List.iter
     (fun h ->
@@ -225,6 +329,19 @@ let iter_events f =
       ~dur:s.e_dur.(i) ~args:s.e_args.(i)
   done
 
+(** Iterate retained events whose global index is >= [start]
+    (oldest-first).  Lets a caller take a watermark with
+    [events_recorded ()] and later aggregate only the events recorded
+    since — bench uses this for per-stage latency percentiles. *)
+let iter_events_from start f =
+  let s = sink in
+  let lo = max start (s.next - retained ()) in
+  for k = lo to s.next - 1 do
+    let i = k mod s.cap in
+    f ~name:s.e_name.(i) ~kind:s.e_kind.(i) ~ts:s.e_ts.(i)
+      ~dur:s.e_dur.(i) ~args:s.e_args.(i)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Exporter 1: chrome://tracing                                        *)
 (* ------------------------------------------------------------------ *)
@@ -265,11 +382,15 @@ let export_chrome_trace () =
 (* Exporter 2: flat metrics JSON                                       *)
 (* ------------------------------------------------------------------ *)
 
-let metrics_schema_version = 1
+(* v2: histogram buckets became log-linear ([low, count] pairs where
+   low is the bucket's smallest value rather than a power of two) and
+   histogram summaries gained exact-rank p50/p90/p99/p999 fields.
+   Counters, spans and the envelope are unchanged. *)
+let metrics_schema_version = 2
 
-(** Flat metrics JSON: all counters, histogram summaries, and
-    per-name span aggregates (count / total / max ns) computed over
-    the retained events. *)
+(** Flat metrics JSON: all counters, histogram summaries with
+    percentiles, and per-name span aggregates (count / total / max
+    ns) computed over the retained events. *)
 let export_metrics () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -304,12 +425,16 @@ let export_metrics () =
             let bks =
               String.concat ", "
                 (List.map
-                   (fun (b, n) -> Printf.sprintf "[%d, %d]" (1 lsl b) n)
+                   (fun (b, n) ->
+                     Printf.sprintf "[%d, %d]" (bucket_low b) n)
                    (List.rev !nz))
             in
             Printf.sprintf
-              "\"%s\": {\"count\": %d, \"sum\": %d, \"buckets\": [%s]}"
-              (json_escape h.hname) h.hcount h.hsum bks)
+              "\"%s\": {\"count\": %d, \"sum\": %d, \"p50\": %d, \
+               \"p90\": %d, \"p99\": %d, \"p999\": %d, \"buckets\": [%s]}"
+              (json_escape h.hname) h.hcount h.hsum (percentile h 50.)
+              (percentile h 90.) (percentile h 99.) (percentile h 99.9)
+              bks)
           hs));
   Buffer.add_string buf "},\n";
   (* span aggregates from the retained ring *)

@@ -34,6 +34,7 @@ module Stencil = Obrew_stencil.Stencil
 module Sen = Obrew_sentinel.Sentinel
 module H = Obrew_sentinel.Health
 module Tel = Obrew_telemetry.Telemetry
+module Flight = Obrew_observe.Flight
 
 let c_tierup = Tel.counter "tier.tierups"
 let c_patch = Tel.counter "tier.patches"
@@ -119,6 +120,26 @@ let create ?(cfg = default_config) env =
 let note ctl fmt =
   Printf.ksprintf (fun m -> ctl.events <- (ctl.tick, m) :: ctl.events) fmt
 
+(** Per-site JSON rows (registration order) — the black-box report's
+    "tier" section. *)
+let sites_json sites =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun s ->
+           Printf.sprintf
+             "{\"site\": \"%s\", \"level\": \"%s\", \"thunk\": %d, \
+              \"target\": %d, \"pinned\": %b, \"queued\": %b, \
+              \"slices\": %d, \"compiles\": %d, \"patches\": %d, \
+              \"attempts\": %d}"
+             (site_key s) (level_name s.s_level) s.s_thunk s.s_target
+             s.s_pinned s.s_queued s.s_slices s.s_compiles s.s_patches
+             s.s_attempts)
+         sites)
+  ^ "]"
+
+let table_json ctl = sites_json ctl.sites
+
 (* ------------------------------------------------------------------ *)
 (* Hotness                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -191,7 +212,9 @@ let retarget ctl s kernel =
     s.s_patches <- s.s_patches + 1;
     ctl.patches <- ctl.patches + 1;
     Tel.incr_c c_patch;
-    if !Tel.enabled then Tel.instant "tier.patch" ~args:(site_key s)
+    if !Tel.enabled then Tel.instant "tier.patch" ~args:(site_key s);
+    Flight.(
+      emit Tier_patch ~a:kernel ~b:ctl.tick ~subject:(site_key s))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -210,19 +233,27 @@ let tier_up ctl s lvl =
   ctl.compiles <- ctl.compiles + 1;
   s.s_compiles <- s.s_compiles + 1;
   Tel.incr_c c_compile;
-  let t0 = Unix.gettimeofday () in
+  Flight.(
+    emit Tier_compile ~b:ctl.tick ~subject:(site_key s)
+      ~detail:("want " ^ Modes.transform_name want));
+  let t0 = Tel.Clock.now () in
   let sv =
     Tel.span "tier.compile" ~args:(site_key s) (fun () ->
         Sen.serve ~policy:ctl.cfg.policy ?out_dir:ctl.cfg.out_dir ctl.env
           s.s_kind s.s_style want)
   in
-  ctl.compile_s <- ctl.compile_s +. (Unix.gettimeofday () -. t0);
+  ctl.compile_s <- ctl.compile_s +. (Tel.Clock.now () -. t0);
   if sv.Sen.sv_demoted then begin
     ctl.demotions <- ctl.demotions + 1;
     Tel.incr_c c_demote;
     s.s_attempts <- s.s_attempts + 1;
+    Flight.(
+      emit Tier_demote ~a:s.s_attempts ~b:ctl.tick ~subject:(site_key s)
+        ~detail:("landed on " ^ Modes.transform_name sv.Sen.sv_mode));
     if s.s_attempts > ctl.cfg.policy.H.heal_max then begin
       s.s_pinned <- true;
+      Flight.(
+        emit Tier_pin ~a:s.s_attempts ~b:ctl.tick ~subject:(site_key s));
       note ctl "%s: pinned at %s after %d demoted tier-up attempts"
         (site_key s) (level_name s.s_level) s.s_attempts
     end
@@ -245,6 +276,9 @@ let tier_up ctl s lvl =
     s.s_level <- lvl;
     ctl.tierups <- ctl.tierups + 1;
     Tel.incr_c c_tierup;
+    Flight.(
+      emit Tier_up ~a:sv.Sen.sv_kernel ~b:ctl.tick ~subject:(site_key s)
+        ~detail:(level_name lvl ^ ", " ^ Modes.transform_name sv.Sen.sv_mode));
     note ctl "%s: tiered up to %s (%s, kernel 0x%x%s)" (site_key s)
       (level_name lvl)
       (Modes.transform_name sv.Sen.sv_mode)
@@ -270,6 +304,9 @@ let poll ctl =
         s.s_queued <- true;
         Queue.add s ctl.queue;
         Tel.incr_c c_enqueue;
+        Flight.(
+          emit Tier_enqueue ~a:(hotness ctl s) ~b:ctl.tick
+            ~subject:(site_key s) ~detail:(level_name s.s_level));
         note ctl "%s: hot (%d >= %d at %s), enqueued" (site_key s)
           (hotness ctl s)
           (threshold_for ctl s.s_level)
@@ -371,7 +408,7 @@ let run ?(cfg = default_config) env
     | Tiered | AlwaysTop -> cfg
   in
   let ctl = create ~cfg env in
-  let t_start = Unix.gettimeofday () in
+  let t_start = Tel.Clock.now () in
   Array.iter (fun (k, st) -> ignore (register ctl k st)) schedule;
   (* the up-front strategy pays every compile before the first slice *)
   if strategy = AlwaysTop then
@@ -396,7 +433,7 @@ let run ?(cfg = default_config) env
   let total_cycles = ref 0 and total_insns = ref 0 in
   let cycles_to_peak = ref 0 and slices_to_peak = ref 0 in
   let time_to_peak =
-    ref (if strategy = AlwaysTop then Unix.gettimeofday () -. t_start else 0.0)
+    ref (if strategy = AlwaysTop then Tel.Clock.now () -. t_start else 0.0)
   in
   let peak_slice = ref max_int in
   for i = 0 to n - 1 do
@@ -413,7 +450,7 @@ let run ?(cfg = default_config) env
       ignore (poll ctl);
       if ctl.patches > p0 then begin
         cycles_to_peak := !total_cycles;
-        time_to_peak := Unix.gettimeofday () -. t_start;
+        time_to_peak := Tel.Clock.now () -. t_start;
         slices_to_peak := i + 1
       end
     end
@@ -421,7 +458,7 @@ let run ?(cfg = default_config) env
   { r_strategy = strategy;
     r_total_cycles = !total_cycles;
     r_total_insns = !total_insns;
-    r_wall_s = Unix.gettimeofday () -. t_start;
+    r_wall_s = Tel.Clock.now () -. t_start;
     r_compile_s = ctl.compile_s;
     r_cycles_to_peak = !cycles_to_peak;
     r_time_to_peak_s = !time_to_peak;

@@ -507,6 +507,9 @@ let flush_code ?range cpu =
         (match range with
          | Some (lo, hi) -> Printf.sprintf "0x%x-0x%x" lo hi
          | None -> "all");
+  (match range with
+   | Some (lo, hi) -> Obrew_observe.Flight.(emit Cache_flush ~a:lo ~b:hi)
+   | None -> Obrew_observe.Flight.(emit Cache_flush ~subject:"all"));
   match range with
   | None ->
     Hashtbl.reset cpu.code;

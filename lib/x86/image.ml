@@ -135,6 +135,9 @@ let install_code ?name ?(dedup = false) t (items : Insn.item list) =
     (match name with Some n -> define t n base | None -> ());
     (match key with Some k -> Hashtbl.replace t.code_memo k base | None -> ());
     Hashtbl.replace t.code_digests base (digest, String.length bytes);
+    Obrew_observe.Flight.(
+      emit Cache_install ~a:base ~b:(String.length bytes)
+        ~subject:(Option.value ~default:"" name));
     base
 
 (** Raw code bytes (e.g. produced by re-encoding a DBrew result, or
@@ -147,6 +150,9 @@ let install_bytes ?name t (bytes : string) =
   Cpu.flush_code ~range:(base, t.next_code) t.cpu;
   (match name with Some n -> define t n base | None -> ());
   Hashtbl.replace t.code_digests base (Digest.string bytes, String.length bytes);
+  Obrew_observe.Flight.(
+    emit Cache_install ~a:base ~b:(String.length bytes)
+      ~subject:(Option.value ~default:"" name));
   base
 
 (** Digest of the host bytes installed at [addr], when [addr] is the

@@ -200,10 +200,14 @@ let rec check_counts ctx v =
       | _ -> if as_int kctx n < 0 then fail "%s: negative" kctx)
     (as_obj ctx v)
 
+(* BENCH files: v1 lacked the tail-latency objects, v2 added
+   serve_latency/stage_latency to the fig9 sections; both shapes remain
+   readable so old baselines stay comparable. *)
 let check_bench path (j : json) =
   let ctx = Filename.basename path in
   let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
-  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  if sv <> 1 && sv <> 2 then
+    fail "%s: unsupported schema_version %d" ctx sv;
   let section = as_str (ctx ^ ".section") (field ctx j "section") in
   if not (String.length section > 3 && String.sub section 0 3 = "fig") then
     fail "%s: bad section %S" ctx section;
@@ -235,7 +239,36 @@ let check_bench path (j : json) =
   check_counts (ctx ^ ".superblocks") (field ctx j "superblocks");
   check_counts (ctx ^ ".transform_memo") (field ctx j "transform_memo");
   check_counts (ctx ^ ".dbrew_memo") (field ctx j "dbrew_memo");
-  Printf.printf "%s: OK (%d rows)\n" ctx (List.length rows)
+  if sv >= 2 then begin
+    let sl = field ctx j "serve_latency" in
+    let sctx = ctx ^ ".serve_latency" in
+    let g k = as_int (sctx ^ "." ^ k) (field sctx sl k) in
+    if g "serves" < 1 then fail "%s: serves < 1" sctx;
+    let p50 = g "p50_us" and p90 = g "p90_us" in
+    let p99 = g "p99_us" and p999 = g "p999_us" in
+    if p50 < 0 then fail "%s: negative p50_us" sctx;
+    if not (p50 <= p90 && p90 <= p99 && p99 <= p999) then
+      fail "%s: percentiles not monotone (%d/%d/%d/%d)" sctx p50 p90 p99
+        p999;
+    if as_num (sctx ^ ".throughput_rps") (field sctx sl "throughput_rps")
+       <= 0.0
+    then fail "%s: throughput_rps <= 0" sctx;
+    let stages = as_obj (ctx ^ ".stage_latency") (field ctx j "stage_latency") in
+    if stages = [] then fail "%s: stage_latency is empty" ctx;
+    List.iter
+      (fun (name, row) ->
+        let rctx = Printf.sprintf "%s.stage_latency[%s]" ctx name in
+        if as_int (rctx ^ ".spans") (field rctx row "spans") < 1 then
+          fail "%s: spans < 1" rctx;
+        let q50 = as_int (rctx ^ ".p50_ns") (field rctx row "p50_ns") in
+        let q90 = as_int (rctx ^ ".p90_ns") (field rctx row "p90_ns") in
+        let q99 = as_int (rctx ^ ".p99_ns") (field rctx row "p99_ns") in
+        if q50 < 0 then fail "%s: negative p50_ns" rctx;
+        if not (q50 <= q90 && q90 <= q99) then
+          fail "%s: percentiles not monotone (%d/%d/%d)" rctx q50 q90 q99)
+      stages
+  end;
+  Printf.printf "%s: OK (schema v%d, %d rows)\n" ctx sv (List.length rows)
 
 let remark_actions =
   [ "deleted"; "merged"; "hoisted"; "unrolled"; "specialized" ]
@@ -344,7 +377,8 @@ let tier_levels = [ "cold"; "warm"; "hot" ]
 let check_tier path (j : json) =
   let ctx = Filename.basename path in
   let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
-  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  if sv <> 1 && sv <> 2 then
+    fail "%s: unsupported schema_version %d" ctx sv;
   let section = as_str (ctx ^ ".section") (field ctx j "section") in
   if section <> "tier" then fail "%s: bad section %S" ctx section;
   if as_int (ctx ^ ".sz") (field ctx j "sz") < 3 then fail "%s: sz < 3" ctx;
@@ -410,6 +444,69 @@ let check_tier path (j : json) =
     (get "tiered" "slices_to_peak")
     slices
 
+(* Black-box crash report (written by `stencil --blackbox` / `obrew
+   report --json`): reason must be one of the typed triggers, the
+   flight-recorder tail must carry strictly-increasing logical
+   sequence numbers, and the section registry must have produced at
+   least one section.  --blackbox-require-chain additionally asserts
+   that a given causal chain of event kinds appears in the tail as an
+   ordered subsequence (e.g. inject -> divergence -> quarantine ->
+   demote). *)
+let blackbox_reasons =
+  [ "typed-error"; "sentinel-divergence"; "uncaught-exception"; "manual" ]
+
+let check_blackbox ~require_chain path (j : json) =
+  let ctx = Filename.basename path in
+  let sv = as_int (ctx ^ ".schema_version") (field ctx j "schema_version") in
+  if sv <> 1 then fail "%s: unsupported schema_version %d" ctx sv;
+  let reason = as_str (ctx ^ ".reason") (field ctx j "reason") in
+  if not (List.mem reason blackbox_reasons) then
+    fail "%s: unknown reason %S" ctx reason;
+  ignore (as_str (ctx ^ ".detail") (field ctx j "detail"));
+  List.iteri
+    (fun i s -> ignore (as_str (Printf.sprintf "%s.active_spans[%d]" ctx i) s))
+    (as_arr (ctx ^ ".active_spans") (field ctx j "active_spans"));
+  let fl = field ctx j "flight" in
+  let fctx = ctx ^ ".flight" in
+  if as_int (fctx ^ ".recorded") (field fctx fl "recorded") < 0 then
+    fail "%s: negative recorded" fctx;
+  if as_int (fctx ^ ".dropped") (field fctx fl "dropped") < 0 then
+    fail "%s: negative dropped" fctx;
+  let evs = as_arr (fctx ^ ".events") (field fctx fl "events") in
+  let last_seq = ref (-1) in
+  let kinds =
+    List.mapi
+      (fun i e ->
+        let ectx = Printf.sprintf "%s.events[%d]" fctx i in
+        let seq = as_int (ectx ^ ".seq") (field ectx e "seq") in
+        if seq <= !last_seq then
+          fail "%s: seq %d not strictly increasing (prev %d)" ectx seq
+            !last_seq;
+        last_seq := seq;
+        let kind = as_str (ectx ^ ".kind") (field ectx e "kind") in
+        if kind = "" then fail "%s: empty kind" ectx;
+        kind)
+      evs
+  in
+  let sections = as_obj (ctx ^ ".sections") (field ctx j "sections") in
+  if sections = [] then fail "%s: sections is empty" ctx;
+  (match require_chain with
+   | [] -> ()
+   | chain ->
+     let rec sub need have =
+       match (need, have) with
+       | [], _ -> true
+       | _, [] -> false
+       | n :: ns, h :: hs -> if n = h then sub ns hs else sub need hs
+     in
+     if not (sub chain kinds) then
+       fail "%s: event tail lacks the ordered chain %s" ctx
+         (String.concat " -> " chain));
+  Printf.printf "%s: OK (reason %s, %d event(s), %d section(s)%s)\n" ctx
+    reason (List.length evs) (List.length sections)
+    (if require_chain = [] then ""
+     else ", causal chain " ^ String.concat " -> " require_chain)
+
 let check_trace path (j : json) =
   let ctx = Filename.basename path in
   let evs = as_arr (ctx ^ ".traceEvents") (field ctx j "traceEvents") in
@@ -459,7 +556,18 @@ let bench_rows ctx (j : json) : (string * (int * int)) list =
           as_int (rctx ^ ".cycles") (field rctx row "cycles") ) ))
     (as_obj (ctx ^ ".rows") (field ctx j "rows"))
 
-let compare_bench ~tol ~tol_mips base_path cur_path =
+(* serve-latency tail: only present in schema-v2 files, so the gate is
+   conditional — a v1 baseline compares cleanly against a v2 current *)
+let serve_p99 ctx (j : json) =
+  match j with
+  | Obj kvs -> (
+    match List.assoc_opt "serve_latency" kvs with
+    | Some sl ->
+      Some (as_int (ctx ^ ".serve_latency.p99_us") (field ctx sl "p99_us"))
+    | None -> None)
+  | _ -> None
+
+let compare_bench ~tol ~tol_mips ~tol_p99 base_path cur_path =
   let load p = parse (read_file p) in
   let base = load base_path and cur = load cur_path in
   let bctx = Filename.basename base_path in
@@ -514,9 +622,35 @@ let compare_bench ~tol ~tol_mips base_path cur_path =
       true
     | _ -> false
   in
+  (* Tail-latency gate: serve p99 is a wall-clock figure, so regressions
+     are increases; --tol-p99 turns a rise beyond the band into a hard
+     failure.  Skipped when either file predates the latency schema. *)
+  let p99_failed =
+    match (serve_p99 bctx base, serve_p99 cctx cur) with
+    | Some bp, Some cp ->
+      let d =
+        if bp = 0 then 0.0
+        else 100.0 *. (float_of_int cp /. float_of_int bp -. 1.0)
+      in
+      Printf.printf "  %-28s %8d -> %8d us (%+.1f%%)\n" "serve_p99_us" bp cp
+        d;
+      (match tol_p99 with
+       | Some t when d > t ->
+         Printf.eprintf
+           "FAIL %s: serve p99 regressed %.1f%% (%d -> %d us, tolerance \
+            %.0f%%)\n"
+           bsec d bp cp t;
+         true
+       | _ -> false)
+    | _ ->
+      if tol_p99 <> None then
+        Printf.printf "  %-28s (not present in both files, gate skipped)\n"
+          "serve_p99_us";
+      false
+  in
   match !regressions with
   | [] ->
-    if mips_failed then exit 1;
+    if mips_failed || p99_failed then exit 1;
     Printf.printf "compare %s: OK (%d rows, tolerance %.0f%%)\n" bsec
       (List.length brows) tol
   | rs ->
@@ -581,10 +715,12 @@ let () =
   if args = [] then begin
     prerr_endline
       "usage: validate_bench [--trace FILE | --remarks FILE | --profile \
-       FILE | --sentinel FILE | --tier FILE | BENCH_*.json] ...\n\
+       FILE | --sentinel FILE | --tier FILE | --blackbox FILE | \
+       BENCH_*.json] ...\n\
       \       [--sentinel-min-divergences N] [--sentinel-min-demotions N]\n\
+      \       [--blackbox-require-chain k1,k2,...]\n\
       \       validate_bench compare BASELINE.json CURRENT.json [--tol PCT] \
-       [--tol-mips PCT]\n\
+       [--tol-mips PCT] [--tol-p99 PCT]\n\
       \       validate_bench compare-tier BASELINE.json CURRENT.json \
        [--tol PCT]";
     exit 2
@@ -603,14 +739,18 @@ let () =
    | "compare" :: rest ->
      let tol = ref 10.0 in
      let tol_mips = ref None in
+     let tol_p99 = ref None in
      let files = ref [] in
      let rec go = function
        | "--tol" :: t :: tl -> tol := float_of_string t; go tl
        | "--tol-mips" :: t :: tl ->
          tol_mips := Some (float_of_string t);
          go tl
-       | ("--tol" | "--tol-mips") :: [] ->
-         prerr_endline "--tol/--tol-mips need a percentage argument";
+       | "--tol-p99" :: t :: tl ->
+         tol_p99 := Some (float_of_string t);
+         go tl
+       | ("--tol" | "--tol-mips" | "--tol-p99") :: [] ->
+         prerr_endline "--tol/--tol-mips/--tol-p99 need a percentage argument";
          exit 2
        | f :: tl -> files := f :: !files; go tl
        | [] -> ()
@@ -618,13 +758,16 @@ let () =
      go rest;
      (match List.rev !files with
       | [ base; cur ] -> (
-        try compare_bench ~tol:!tol ~tol_mips:!tol_mips base cur with
+        try
+          compare_bench ~tol:!tol ~tol_mips:!tol_mips ~tol_p99:!tol_p99 base
+            cur
+        with
         | Bad m -> Printf.eprintf "FAIL %s\n" m; exit 1
         | Sys_error m -> Printf.eprintf "FAIL %s\n" m; exit 1)
       | _ ->
         prerr_endline
           "usage: validate_bench compare BASELINE.json CURRENT.json \
-           [--tol PCT] [--tol-mips PCT]";
+           [--tol PCT] [--tol-mips PCT] [--tol-p99 PCT]";
         exit 2)
    | "compare-tier" :: rest ->
      let tol = ref 0.0 in
@@ -653,6 +796,7 @@ let () =
         on the command line, so hoist them before the file sweep *)
      let min_div = ref 0 in
      let min_dem = ref 0 in
+     let chain = ref [] in
      let rec hoist = function
        | "--sentinel-min-divergences" :: n :: tl ->
          min_div := int_of_string n;
@@ -660,8 +804,17 @@ let () =
        | "--sentinel-min-demotions" :: n :: tl ->
          min_dem := int_of_string n;
          hoist tl
+       | "--blackbox-require-chain" :: ks :: tl ->
+         chain :=
+           List.filter (fun k -> k <> "")
+             (List.map String.trim (String.split_on_char ',' ks));
+         hoist tl
        | ("--sentinel-min-divergences" | "--sentinel-min-demotions") :: [] ->
          prerr_endline "--sentinel-min-* need an integer argument";
+         exit 2
+       | [ "--blackbox-require-chain" ] ->
+         prerr_endline
+           "--blackbox-require-chain needs a comma-separated kind list";
          exit 2
        | a :: tl -> a :: hoist tl
        | [] -> []
@@ -677,7 +830,11 @@ let () =
            (check_sentinel ~min_divergences:!min_div ~min_demotions:!min_dem);
          go tl
        | "--tier" :: f :: tl -> checked "tier" f check_tier; go tl
-       | ("--trace" | "--remarks" | "--profile" | "--sentinel" | "--tier")
+       | "--blackbox" :: f :: tl ->
+         checked "blackbox" f (check_blackbox ~require_chain:!chain);
+         go tl
+       | ("--trace" | "--remarks" | "--profile" | "--sentinel" | "--tier"
+         | "--blackbox")
          :: [] ->
          prerr_endline "flag needs a file argument";
          exit 2
