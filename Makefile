@@ -74,6 +74,8 @@ profile:
 fuzz:
 	dune exec bin/obrew_cli.exe -- fuzz --seeds 500 --tiers all \
 	  --out _bench/oracle --stats
+	dune exec bin/obrew_cli.exe -- fuzz --seeds 500 --tiers all \
+	  --profile indirect --out _bench/oracle --stats
 
 # Fixed-seed fault-injection smoke: ~500 random injection plans against
 # the fail-safe pipeline (see test/test_fault.ml).

@@ -113,6 +113,8 @@ let sb_stats_fields (s : Cpu.cache_stats) =
     jint "live" s.Cpu.blocks_live;
     jint "traces" s.Cpu.traces_built;
     jint "trace_side_exits" s.Cpu.trace_side_exits;
+    jint "ic_hits" s.Cpu.ic_hits;
+    jint "ic_misses" s.Cpu.ic_misses;
     jobj "fused_pairs"
       (List.map (fun (pat, n) -> jint pat n) s.Cpu.fused_pairs);
     jint "flag_records" s.Cpu.flag_records;

@@ -234,6 +234,8 @@ let print_stats (env : Modes.env) =
     s.Cpu.block_chained s.Cpu.block_flushes;
   Printf.printf "traces: %d built, %d side exits taken\n" s.Cpu.traces_built
     s.Cpu.trace_side_exits;
+  Printf.printf "indirect inline caches: %d hits / %d misses\n" s.Cpu.ic_hits
+    s.Cpu.ic_misses;
   Printf.printf "fused pairs: %s\n"
     (String.concat ", "
        (List.map
@@ -271,6 +273,8 @@ let engine_stats_json (env : Modes.env) =
         jint "live" s.Cpu.blocks_live;
         jint "traces" s.Cpu.traces_built;
         jint "trace_side_exits" s.Cpu.trace_side_exits;
+        jint "ic_hits" s.Cpu.ic_hits;
+        jint "ic_misses" s.Cpu.ic_misses;
         Printf.sprintf "  \"fused_pairs\": {%s}"
           (String.concat ", "
              (List.map
@@ -810,7 +814,9 @@ let fuzz_cmd =
            ~doc:"Case-shape bias: 'uniform' draws from the whole ISA \
                  subset, 'fusion' skews toward fusible adjacent pairs \
                  and tight backedge loops to stress the superblock \
-                 engine's traces and mega-op fusion.")
+                 engine's traces and mega-op fusion, 'indirect' skews \
+                 toward jump tables, computed gotos and call/ret \
+                 chains to stress indirect control flow.")
   in
   let out_arg =
     Arg.(value & opt (some string) (Some "_bench/oracle")
@@ -904,8 +910,10 @@ let fuzz_cmd =
       match profile with
       | "uniform" -> Obrew_oracle.Gen.Uniform
       | "fusion" -> Obrew_oracle.Gen.Fusion
+      | "indirect" -> Obrew_oracle.Gen.Indirect
       | p ->
-        Printf.eprintf "unknown profile %S (want uniform or fusion)\n" p;
+        Printf.eprintf
+          "unknown profile %S (want uniform, fusion or indirect)\n" p;
         exit 2
     in
     let tiers =

@@ -41,8 +41,8 @@ let install_func (img : Image.t) (f : func) : int =
         Array.iteri
           (fun k item ->
             match (item : Insn.item) with
-            | Insn.L _ -> ()
-            | Insn.I _ -> (
+            | Insn.L _ | Insn.Q _ -> ()
+            | Insn.I _ | Insn.MovLbl _ -> (
               match !rest with
               | (a, _) :: tl ->
                 let len =

@@ -13,6 +13,7 @@ open Obrew_x86
 open Obrew_fault
 open Insn
 open Meta
+module Prov = Obrew_provenance.Provenance
 
 (* Rewriter failures are typed errors.  The generic rewriting
    machinery (trace management, emission budgets, unsupported
@@ -666,8 +667,47 @@ and run_trace rw ts pc : unit =
       raise Trace_done)
   | Jmp (Abs t) -> goto rw ts t
   | Jmp (Lbl _) | Jcc (_, Lbl _) | Call (Lbl _) -> fail "label in input"
-  | JmpInd _ -> fail "indirect jump"
-  | CallInd _ -> fail "indirect call"
+  | JmpInd op -> (
+    (* devirtualize: when the meta-state pins the operand — a register
+       holding a known value, or a jump-table load at a known address
+       inside the declared fixed memory — the indirect jump continues
+       the trace directly at that target, exactly like [Jmp (Abs t)].
+       The emitted code contains no indirect branch at all. *)
+    match operand_value rw ts W64 op with
+    | Some t ->
+      Prov.record ~pass:"dbrew" ~action:Prov.Specialized
+        ~prov:(Prov.make ~addr:pc ~ord:0)
+        ~detail:(Printf.sprintf "indirect jump devirtualized to %#Lx" t);
+      goto rw ts (Int64.to_int t)
+    | None ->
+      Err.fail ~addr:pc Err.Encode
+        "indirect jump: target not a specialization-time constant")
+  | CallInd op -> (
+    (* same devirtualization; a pinned target then takes the ordinary
+       direct-call path (inlined under the budget, else emitted as a
+       direct call) *)
+    match operand_value rw ts W64 op with
+    | Some t ->
+      let t = Int64.to_int t in
+      Prov.record ~pass:"dbrew" ~action:Prov.Specialized
+        ~prov:(Prov.make ~addr:pc ~ord:0)
+        ~detail:(Printf.sprintf "indirect call devirtualized to %#x" t);
+      if ts.inline_depth < rw.cfg.inline_depth then begin
+        ts.orig_c <- ts.orig_c - 8;
+        set ts.st Reg.RSP (RspOff ts.orig_c);
+        slot_set ts.st ts.orig_c (Known (Int64.of_int next));
+        ts.inline_depth <- ts.inline_depth + 1;
+        run_trace rw ts t
+      end
+      else begin
+        emit rw (Call (Abs t));
+        List.iter (fun r -> set ts.st r Unknown) Reg.caller_saved;
+        forget_flags ts.st;
+        run_trace rw ts next
+      end
+    | None ->
+      Err.fail ~addr:pc Err.Encode
+        "indirect call: target not a specialization-time constant")
   | Jcc (c, Abs t) -> (
     match Meta.cond ts.st c with
     | Some true -> goto rw ts t

@@ -54,6 +54,17 @@ let saboteur_points : (string * Err.stage) list =
     ("sabotage.rewrite.item", Err.Encode);
     ("sabotage.install.bytes", Err.Install) ]
 
+(** Engine saboteur points: corrupt the execution engine's own
+    dispatch rather than an emitted artifact.  [sabotage.isel.indirect]
+    makes the superblock engine trust a stale inline-cache prediction
+    on an indirect branch without revalidating it — silent wrong-block
+    execution.  Unlike {!saboteur_points} the corruption is not
+    confined to one translated kernel: it also poisons reference
+    probes run through the same engine, so drills must arm these only
+    against a throwaway image, never a shared environment. *)
+let engine_saboteur_points : (string * Err.stage) list =
+  [ ("sabotage.isel.indirect", Err.Isel) ]
+
 (** Untyped points: an armed hit raises a bare [Failure] instead of a
     typed {!Err.Error} — they drill [Modes.transform_safe]'s
     last-resort handler, whose job is to attribute an arbitrary
@@ -64,7 +75,8 @@ let saboteur_points : (string * Err.stage) list =
 let untyped_points : (string * Err.stage) list =
   [ ("untyped.lift", Err.Lift); ("untyped.opt", Err.Opt) ]
 
-let all_points = known_points @ saboteur_points @ untyped_points
+let all_points =
+  known_points @ saboteur_points @ engine_saboteur_points @ untyped_points
 let point_names = List.map fst known_points
 let all_point_names = List.map fst all_points
 

@@ -45,7 +45,16 @@ type raw_block = {
   term : [ `Jmp of int
          | `Jcc of Insn.cc * int * int (* cc, target, fallthrough *)
          | `Ret
-         | `Fall of int ];
+         | `Fall of int
+         | `CallDir of int * int (* in-region call: target, return addr *)
+         | `Switch of Insn.operand * int list
+           (* indirect jump through [operand]: enumerated candidate
+              targets, guarded at runtime on the loaded value *)
+         | `CallSwitch of Insn.operand * int list * int
+           (* indirect call: operand, candidates, return addr *)
+         | `IndExit
+           (* indirect branch with no derivable target set: the block
+              side-exits (IR [Unreachable]) instead of mistranslating *) ];
 }
 
 module Tel = Obrew_telemetry.Telemetry
@@ -65,7 +74,17 @@ let resolve_rip a len i =
       else m)
     i
 
-let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
+(* Cap on jump-table enumeration, and the plausibility window around
+   the function entry within which an 8-byte table entry is accepted
+   as a code address.  Enumeration quality is a coverage knob only:
+   the lowering guards each candidate against the value actually
+   loaded at runtime, so an under- or over-approximated table can
+   cost a side-exit but never a mistranslation. *)
+let max_table_entries = 64
+let target_window = 0x100000
+
+let discover ~read ~entry ~max_insns ~max_blocks ~callee_sigs :
+    raw_block list =
   Fault.point ~addr:entry "lift.discover";
   (* pass 1: decode reachable instructions, collect leaders *)
   let insns : (int, Insn.insn * int) Hashtbl.t = Hashtbl.create 64 in
@@ -74,10 +93,72 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
   let work = Queue.create () in
   Queue.add entry work;
   let count = ref 0 in
+  (* registers holding a known [movabs] constant on the current linear
+     decode run; cleared by any other instruction (conservative: no
+     modeling of partial writes) and at every run boundary.  Used only
+     to resolve the *operand base* of an indirect branch — the runtime
+     guard re-checks the dispatched value, so stale or missing entries
+     degrade coverage, not soundness. *)
+  let consts : (int, int64) Hashtbl.t = Hashtbl.create 4 in
+  (* enumerated candidate targets of resolved indirect branches,
+     keyed by the branch instruction's address (consumed by pass 2) *)
+  let ind_targets : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  let read_u64 a =
+    let v = ref 0L in
+    for k = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (read (a + k) land 0xff))
+    done;
+    !v
+  in
+  let plausible t =
+    t > 0 && t > entry - target_window && t < entry + target_window
+  in
+  (* walk an 8-byte-entry table at [base] until the first implausible
+     entry (or the cap) *)
+  let enumerate_table base =
+    let rec go k acc =
+      if k >= max_table_entries then List.rev acc
+      else
+        let t = Int64.to_int (read_u64 (base + (8 * k))) in
+        if plausible t then go (k + 1) (t :: acc) else List.rev acc
+    in
+    go 0 []
+  in
+  (* candidate target set of an indirect branch operand, from the
+     constants live on this decode run *)
+  let resolve_ind (op : Insn.operand) : int list =
+    match op with
+    | Insn.OReg r -> (
+      match Hashtbl.find_opt consts (Reg.index r) with
+      | Some v ->
+        let t = Int64.to_int v in
+        if plausible t then [ t ] else []
+      | None -> [])
+    | Insn.OMem m when not m.Insn.rip -> (
+      match (m.Insn.base, m.Insn.index) with
+      | Some b, (None | Some (_, Insn.S8)) -> (
+        (* [jmp qword [b + i*8 + disp]]: a jump table at b+disp *)
+        match Hashtbl.find_opt consts (Reg.index b) with
+        | Some bv ->
+          let base = Int64.to_int bv + m.Insn.disp in
+          if m.Insn.index = None then
+            let t = Int64.to_int (read_u64 base) in
+            if plausible t then [ t ] else []
+          else enumerate_table base
+        | None -> [])
+      | _ -> [])
+    | _ -> []
+  in
+  let add_target t =
+    Hashtbl.replace leaders t ();
+    Queue.add t work
+  in
   let dargs = if !Tel.enabled then Printf.sprintf "0x%x" entry else "" in
   Tel.span "decode.discover" ~args:dargs (fun () ->
   while not (Queue.is_empty work) do
     let a = ref (Queue.pop work) in
+    Hashtbl.reset consts;
     let continue_ = ref (not (Hashtbl.mem insns !a)) in
     while !continue_ do
       incr count;
@@ -93,21 +174,44 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
       let next = !a + len in
       (match i with
        | Insn.Jmp (Insn.Abs t) ->
-         Hashtbl.replace leaders t ();
-         Queue.add t work;
+         add_target t;
          continue_ := false
        | Insn.Jcc (_, Insn.Abs t) ->
-         Hashtbl.replace leaders t ();
-         Hashtbl.replace leaders next ();
-         Queue.add t work;
-         Queue.add next work;
+         add_target t;
+         add_target next;
          continue_ := false
        | Insn.Ret -> continue_ := false
-       | Insn.JmpInd _ -> err "indirect jump at 0x%x unsupported" !a
+       | Insn.Call (Insn.Abs t) when not (List.mem_assoc t callee_sigs) ->
+         (* no declared signature: an in-region call, lifted as
+            push-return-address + branch and paired with [Ret] via the
+            return-address guard chain; callee and continuation both
+            become leaders *)
+         add_target t;
+         add_target next;
+         continue_ := false
+       | Insn.JmpInd op ->
+         (match List.sort_uniq compare (resolve_ind op) with
+          | [] -> ()
+          | ts ->
+            Hashtbl.replace ind_targets !a ts;
+            List.iter add_target ts);
+         continue_ := false
+       | Insn.CallInd op ->
+         (match List.sort_uniq compare (resolve_ind op) with
+          | [] -> ()
+          | ts ->
+            Hashtbl.replace ind_targets !a ts;
+            List.iter add_target ts;
+            add_target next);
+         continue_ := false
        | Insn.Jmp (Insn.Lbl _) | Insn.Jcc (_, Insn.Lbl _) ->
-         err "unresolved label in decoded stream"
-       | Insn.Ud2 | Insn.Int3 -> err "trap instruction at 0x%x" !a
+         Err.fail ~addr:!a Err.Lift "unresolved label in decoded stream"
+       | Insn.Ud2 | Insn.Int3 ->
+         Err.fail ~addr:!a Err.Lift "trap instruction at 0x%x" !a
        | _ ->
+         (match i with
+          | Insn.Movabs (r, v) -> Hashtbl.replace consts (Reg.index r) v
+          | _ -> Hashtbl.reset consts);
          a := next;
          if Hashtbl.mem insns next then continue_ := false
          else if Hashtbl.mem leaders next then continue_ := false)
@@ -124,7 +228,7 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
     (fun start ->
       let rec go a acc =
         match Hashtbl.find_opt insns a with
-        | None -> err "fell off decoded code at 0x%x" a
+        | None -> Err.fail ~addr:a Err.Lift "fell off decoded code at 0x%x" a
         | Some (i, len) -> (
           let next = a + len in
           match i with
@@ -133,6 +237,17 @@ let discover ~read ~entry ~max_insns ~max_blocks : raw_block list =
           | Insn.Jcc (c, Insn.Abs t) ->
             { start; insns = List.rev acc; term = `Jcc (c, t, next) }
           | Insn.Ret -> { start; insns = List.rev acc; term = `Ret }
+          | Insn.Call (Insn.Abs t) when not (List.mem_assoc t callee_sigs) ->
+            { start; insns = List.rev acc; term = `CallDir (t, next) }
+          | Insn.JmpInd op -> (
+            match Hashtbl.find_opt ind_targets a with
+            | Some ts -> { start; insns = List.rev acc; term = `Switch (op, ts) }
+            | None -> { start; insns = List.rev acc; term = `IndExit })
+          | Insn.CallInd op -> (
+            match Hashtbl.find_opt ind_targets a with
+            | Some ts ->
+              { start; insns = List.rev acc; term = `CallSwitch (op, ts, next) }
+            | None -> { start; insns = List.rev acc; term = `IndExit })
           | _ ->
             if Hashtbl.mem leaders next then
               { start; insns = List.rev ((a, i) :: acc); term = `Fall next }
@@ -1221,6 +1336,14 @@ let lift_insn st (i : Insn.insn) : unit =
 (* Function-level driver                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Sentinel return address stored at the initial top-of-stack when the
+   region contains in-region calls.  A [Ret] that pops it is the
+   function's own return; one popping a call-site continuation address
+   branches there; anything else side-exits.  The value ("obrewret")
+   is no plausible code address, so a collision with real guest data
+   would require the guest to forge it deliberately. *)
+let ret_magic = 0x6F62726577726574L
+
 (** Lift the function at [entry] with the given System V [sg]. *)
 let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
     func =
@@ -1230,8 +1353,20 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
     err "more than eight float arguments unsupported";
   let raw =
     discover ~read ~entry ~max_insns:config.max_insns
-      ~max_blocks:config.max_blocks
+      ~max_blocks:config.max_blocks ~callee_sigs:config.callee_sigs
   in
+  (* in-region call/ret pairing: every call-continuation address, for
+     the return-address guard chain each [Ret] dispatches through *)
+  let call_ras =
+    List.filter_map
+      (fun rb ->
+        match rb.term with
+        | `CallDir (_, ra) | `CallSwitch (_, _, ra) -> Some ra
+        | _ -> None)
+      raw
+    |> List.sort_uniq compare
+  in
+  let has_calls = call_ras <> [] in
   let b = Builder.create ~name ~sg in
   let st =
     { cfg = config; b;
@@ -1254,6 +1389,10 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
   let sp0i = Builder.cast b PtrToInt ~src_ty:(Ptr 0) sp0 ~dst_ty:I64 in
   st.cur.gpr.(Reg.index Reg.RSP) <- sp0i;
   st.cur.gpr_ptr.(Reg.index Reg.RSP) <- Some sp0;
+  (* seed the return-address guard chain; emitted only for regions
+     with in-region calls so call-free functions lift bit-identically *)
+  if has_calls then
+    Builder.store b I64 ~align:8 (CInt (I64, ret_magic)) sp0;
   let iregs = [| Reg.RDI; Reg.RSI; Reg.RDX; Reg.RCX; Reg.R8; Reg.R9 |] in
   let ii = ref 0 and fi = ref 0 in
   List.iteri
@@ -1322,7 +1461,11 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
       | `Jmp t -> add_pred (bid_of t) from
       | `Jcc (_, t, f) -> add_pred (bid_of t) from; add_pred (bid_of f) from
       | `Fall t -> add_pred (bid_of t) from
-      | `Ret -> ())
+      | `CallDir (t, _) -> add_pred (bid_of t) from
+      (* [`Switch]/[`CallSwitch] targets and [`Ret] continuations are
+         reached through synthetic guard blocks created during
+         lowering, which register their own pred edges then *)
+      | `Switch _ | `CallSwitch _ | `IndExit | `Ret -> ())
     raw;
   add_pred (bid_of entry) 0 (* the IR entry block *)
   |> ignore;
@@ -1367,6 +1510,50 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
       Hashtbl.replace st.final_states (-bid - 1000) st'
       (* entry states keyed negatively; final states keyed by bid *))
     raw;
+  (* push a constant return address onto the virtual stack (the store
+     half of in-region call/ret pairing) *)
+  let push_ra ra =
+    let sp = get_gpr_ptr st Reg.RSP in
+    let sp' = Builder.gep b sp [ GConst (-8) ] in
+    let spi =
+      Builder.bin b Add I64 (get_gpr64 st Reg.RSP) (CInt (I64, -8L))
+    in
+    set_gpr64 ~ptr:sp' st Reg.RSP spi;
+    Builder.store b I64 ~align:8 (CInt (I64, Int64.of_int ra)) sp'
+  in
+  (* runtime guard chain: compare the dispatched value [v] against each
+     [(key, dest)] candidate, branching to [dest] on a match; the final
+     else block keeps its fresh-block [Unreachable] terminator — the
+     sound side-exit for a value outside the enumerated set.  Guard
+     blocks register their own pred edges and exit states here, which
+     is safe because phi filling only runs after the whole lift loop. *)
+  let guard_chain from0 v (cases : (int64 * int) list) =
+    let exit_st = snapshot st.cur in
+    let from = ref from0 in
+    List.iter
+      (fun (key, dest) ->
+        let c = Builder.icmp b Eq I64 v (CInt (I64, key)) in
+        let g = Builder.new_block b in
+        Builder.condbr b c dest g;
+        add_pred dest !from;
+        Hashtbl.replace st.final_states !from exit_st;
+        Builder.position b g;
+        from := g)
+      cases
+  in
+  let emit_ret () =
+    match sg.ret with
+    | None -> Builder.ret b None
+    | Some F64 -> Builder.ret b (Some (get_xmm_f64 st 0))
+    | Some (Ptr _) -> Builder.ret b (Some (get_gpr_ptr st Reg.RAX))
+    | Some t ->
+      let v = get_gpr64 st Reg.RAX in
+      let v =
+        if t = I64 then v
+        else Builder.cast st.b Trunc ~src_ty:I64 v ~dst_ty:t
+      in
+      Builder.ret b (Some v)
+  in
   (* lift each raw block *)
   List.iter
     (fun rb ->
@@ -1393,18 +1580,42 @@ let lift_impl ?(config = default_config) ~read ~entry ~name (sg : signature) :
        | `Jcc (c, t, f) ->
          let cond = cond_value st c in
          Builder.condbr b cond (bid_of t) (bid_of f)
-       | `Ret ->
-         (match sg.ret with
-          | None -> Builder.ret b None
-          | Some F64 -> Builder.ret b (Some (get_xmm_f64 st 0))
-          | Some (Ptr _) -> Builder.ret b (Some (get_gpr_ptr st Reg.RAX))
-          | Some t ->
-            let v = get_gpr64 st Reg.RAX in
-            let v =
-              if t = I64 then v
-              else Builder.cast st.b Trunc ~src_ty:I64 v ~dst_ty:t
-            in
-            Builder.ret b (Some v)));
+       | `CallDir (t, ra) ->
+         push_ra ra;
+         Builder.br b (bid_of t)
+       | `Switch (op, ts) ->
+         (* guard on the value actually dispatched at runtime, not on
+            the discovery-time enumeration *)
+         let v = read_operand st Insn.W64 op in
+         guard_chain bid v
+           (List.map (fun t -> (Int64.of_int t, bid_of t)) ts)
+       | `CallSwitch (op, ts, ra) ->
+         let v = read_operand st Insn.W64 op in
+         push_ra ra;
+         guard_chain bid v
+           (List.map (fun t -> (Int64.of_int t, bid_of t)) ts)
+       | `IndExit ->
+         (* unknown indirect target set: the fresh block's default
+            [Unreachable] terminator is the side-exit *)
+         ()
+       | `Ret when has_calls ->
+         (* pop the return address and dispatch on it: the sentinel
+            means the function's own return, a call continuation
+            branches there, anything else side-exits *)
+         let sp = get_gpr_ptr st Reg.RSP in
+         let rav = Builder.load b I64 ~align:8 sp in
+         let sp' = Builder.gep b sp [ GConst 8 ] in
+         let spi =
+           Builder.bin b Add I64 (get_gpr64 st Reg.RSP) (CInt (I64, 8L))
+         in
+         set_gpr64 ~ptr:sp' st Reg.RSP spi;
+         let ret_blk = Builder.new_block b in
+         guard_chain bid rav
+           ((ret_magic, ret_blk)
+           :: List.map (fun ra -> (Int64.of_int ra, bid_of ra)) call_ras);
+         Builder.position b ret_blk;
+         emit_ret ()
+       | `Ret -> emit_ret ());
       Hashtbl.replace st.final_states bid (snapshot st.cur))
     raw;
   (* fill in phi incomings from predecessor final states *)

@@ -356,11 +356,111 @@ let gen_loop r lbl =
   @ [ Insn.I (Insn.Unop (Insn.Dec, Insn.W64, Insn.OReg cnt));
       Insn.I (Insn.Jcc (Insn.NE, Insn.Lbl l)) ]
 
+(* ---------- indirect-profile generators ---------- *)
+
+(* The indirect profile stresses the paths PR 10 opened: jump tables
+   (a bounded Q-entry table the lifter enumerates and the rewriter
+   folds), computed gotos (movabs-pinned register targets), and
+   call/ret chains (in-region calls the lifter turns into guarded
+   push/branch pairs, and the superblock engine dispatches through
+   inline caches).  Every construct is shaped so the loaded target is
+   always one of the enumerable entries — divergence-free by design;
+   a tier that cannot express a form must skip with a typed error. *)
+
+(* jump-table dispatch: mask an index register, load the arm address
+   from an in-code table of Q entries, jump through it.  The masked
+   index always lands inside the table, the table is jumped over (it
+   is data, never executed), and every arm rejoins so the body falls
+   through to the epilogue. *)
+let gen_jump_table r lbl =
+  let n = 1 lsl (1 + int r 2) in
+  (* 2, 4 or 8 arms *)
+  let l_tbl = !lbl in
+  let l_join = !lbl + 1 in
+  let arm_lbls = List.init n (fun k -> !lbl + 2 + k) in
+  lbl := !lbl + 2 + n;
+  let idx = pick r gprs in
+  let base = pick_other r idx in
+  let dispatch =
+    [ Insn.I (Insn.Alu (Insn.And, Insn.W64, Insn.OReg idx,
+                        Insn.OImm (Int64.of_int (n - 1))));
+      Insn.MovLbl (base, l_tbl);
+      Insn.I (Insn.JmpInd
+                (Insn.OMem (Insn.mk_mem ~base ~index:(idx, Insn.S8) ()))) ]
+  in
+  let table =
+    Insn.L l_tbl :: List.map (fun l -> Insn.Q (Insn.Lbl l)) arm_lbls
+  in
+  let arms =
+    List.concat_map
+      (fun l ->
+        (Insn.L l :: gen_filler r lbl)
+        @ [ Insn.I (Insn.Jmp (Insn.Lbl l_join)) ])
+      arm_lbls
+  in
+  dispatch @ table @ arms @ [ Insn.L l_join ]
+
+(* computed goto: pin the target register with a movabs immediately
+   before the indirect jump (the lifter's per-run constant tracking
+   only survives adjacency), skipping a couple of dead filler
+   instructions no tier may execute *)
+let gen_computed_goto r lbl =
+  let l = !lbl in
+  incr lbl;
+  let t = pick r gprs in
+  [ Insn.MovLbl (t, l); Insn.I (Insn.JmpInd (Insn.OReg t)) ]
+  @ gen_filler r lbl
+  @ [ Insn.L l ]
+
+(* in-region call/ret chain: call a local subroutine placed after the
+   continuation, sometimes two levels deep.  The lifter has no
+   signature for the target, so it must lower the call as a guarded
+   push/branch and route the rets through its return-address guard
+   chain; the superblock engine dispatches both rets through inline
+   caches. *)
+let gen_call_chain r lbl =
+  let deep = chance r 35 in
+  let l_sub = !lbl in
+  let l_sub2 = !lbl + 1 in
+  let l_over = !lbl + 2 in
+  lbl := !lbl + 3;
+  let sub2 =
+    if deep then
+      (Insn.L l_sub2 :: gen_filler r lbl) @ [ Insn.I Insn.Ret ]
+    else []
+  in
+  let sub_tail =
+    if deep then
+      [ Insn.I (Insn.Call (Insn.Lbl l_sub2)); Insn.I Insn.Ret ]
+    else [ Insn.I Insn.Ret ]
+  in
+  [ Insn.I (Insn.Call (Insn.Lbl l_sub)); Insn.I (Insn.Jmp (Insn.Lbl l_over));
+    Insn.L l_sub ]
+  @ gen_filler r lbl @ sub_tail @ sub2
+  @ [ Insn.L l_over ]
+
+(* indirect call through a movabs-pinned register: the callee is a
+   local subroutine, so this composes the devirtualization path with
+   the return-address guard chain *)
+let gen_indirect_call r lbl =
+  let l_sub = !lbl in
+  let l_over = !lbl + 1 in
+  lbl := !lbl + 2;
+  let t = pick r gprs in
+  [ Insn.MovLbl (t, l_sub); Insn.I (Insn.CallInd (Insn.OReg t));
+    Insn.I (Insn.Jmp (Insn.Lbl l_over)); Insn.L l_sub ]
+  @ gen_filler r lbl
+  @ [ Insn.I Insn.Ret; Insn.L l_over ]
+
 (** Generation profiles.  [Uniform] draws from the full ISA subset with
     the historical weights; [Fusion] skews heavily toward adjacent
     fusible pairs and tight backedge loops to stress the superblock
-    engine's mega-op fusion, trace extension and lazy-flag machinery. *)
-type profile = Uniform | Fusion
+    engine's mega-op fusion, trace extension and lazy-flag machinery;
+    [Indirect] skews toward jump tables, computed gotos and in-region
+    call/ret chains to stress indirect control flow end to end (lifter
+    target enumeration, inline-cache dispatch, DBrew
+    devirtualization). *)
+type profile = Uniform | Fusion | Indirect
 
 let uniform_generators =
   [| (gen_alu, 16); (gen_mov, 14); (gen_lea, 6); (gen_shift, 14);
@@ -373,9 +473,15 @@ let fusion_generators =
      (gen_mov, 8); (gen_lea, 6); (gen_imul, 4); (gen_test_cmp, 4);
      (gen_push_pop, 4); (gen_shift, 2); (gen_unop, 2) |]
 
+let indirect_generators =
+  [| (gen_jump_table, 18); (gen_computed_goto, 12); (gen_call_chain, 16);
+     (gen_indirect_call, 10); (gen_alu, 10); (gen_mov, 8); (gen_jcc, 8);
+     (gen_shift, 6); (gen_lea, 5); (gen_test_cmp, 4); (gen_push_pop, 3) |]
+
 let generators_of = function
   | Uniform -> uniform_generators
   | Fusion -> fusion_generators
+  | Indirect -> indirect_generators
 
 let gen_chunk generators r lbl =
   let total_weight = Array.fold_left (fun a (_, w) -> a + w) 0 generators in

@@ -24,11 +24,13 @@ let c_shrink_steps = Tel.counter "oracle.shrink_steps"
 (* a body is well-formed when every Lbl target still has its L *)
 let labels_ok (body : Insn.item list) : bool =
   let defined =
-    List.filter_map (function Insn.L l -> Some l | Insn.I _ -> None) body
+    List.filter_map (function Insn.L l -> Some l | _ -> None) body
   in
   List.for_all
     (function
-      | Insn.I (Insn.Jcc (_, Insn.Lbl l)) | Insn.I (Insn.Jmp (Insn.Lbl l)) ->
+      | Insn.I (Insn.Jcc (_, Insn.Lbl l)) | Insn.I (Insn.Jmp (Insn.Lbl l))
+      | Insn.I (Insn.Call (Insn.Lbl l)) | Insn.Q (Insn.Lbl l)
+      | Insn.MovLbl (_, l) ->
         List.mem l defined
       | _ -> true)
     body
@@ -130,7 +132,7 @@ let pass_consts ~check st ~budget (c : O.case) : O.case =
     List.iteri
       (fun idx item ->
         match item with
-        | Insn.L _ -> ()
+        | Insn.L _ | Insn.Q _ | Insn.MovLbl _ -> ()
         | Insn.I i ->
           List.iter
             (fun i' ->

@@ -32,6 +32,8 @@ let c_sb_exec = Tel.counter "sb.blocks_executed"
 let c_sb_hit = Tel.counter "sb.cache_hits"
 let c_sb_miss = Tel.counter "sb.cache_misses"
 let c_sb_chain = Tel.counter "sb.chain_hits"
+let c_sb_ic_hit = Tel.counter "sb.ic_hits"
+let c_sb_ic_miss = Tel.counter "sb.ic_misses"
 let c_sb_flush = Tel.counter "sb.flushes"
 let c_sb_trace = Tel.counter "sb.traces_built"
 let c_sb_sidexit = Tel.counter "sb.trace_side_exits"
@@ -96,6 +98,17 @@ type sblock = {
   mutable sb_valid : bool;        (* cleared by flush_code *)
   mutable sb_link1 : sblock option; (* chained successors *)
   mutable sb_link2 : sblock option;
+  sb_ind : bool;                  (* terminator is an indirect branch
+                                     (JmpInd/CallInd/Ret): successors go
+                                     through the inline cache below, not
+                                     the direct chain links *)
+  mutable sb_ic1 : sblock option; (* 2-way inline cache of predicted
+                                     targets, MRU first; entries are
+                                     revalidated on every transition
+                                     (entry match + validity bit) and
+                                     replaced on divergent-target
+                                     misses *)
+  mutable sb_ic2 : sblock option;
 }
 
 (* a translated instruction: executes against the CPU state and
@@ -134,6 +147,8 @@ and t = {
   mutable sb_misses : int;
   mutable sb_flushes : int;
   mutable sb_chained : int;    (* block transitions served by a chain link *)
+  mutable sb_ic_hits : int;    (* indirect transitions predicted by an IC *)
+  mutable sb_ic_misses : int;  (* indirect transitions that missed the IC *)
   mutable sb_traces : int;     (* blocks promoted to traces *)
   mutable sb_side_exits : int; (* early exits taken out of a trace *)
   mutable fu_cmpjcc : int;     (* fused pairs created, by pattern *)
@@ -157,7 +172,8 @@ let dummy_block =
     sb_addrs = [||]; sb_costs = [||]; sb_static = 0; sb_slots = [||];
     sb_slot_rips = [||]; sb_slot_costs = [||]; sb_slot_insns = [||];
     sb_ranges = []; sb_kind = KStraight; sb_execs = 0; sb_valid = false;
-    sb_link1 = None; sb_link2 = None }
+    sb_link1 = None; sb_link2 = None; sb_ind = false; sb_ic1 = None;
+    sb_ic2 = None }
 
 let bcache_slots = 64
 
@@ -169,6 +185,7 @@ let create ?(cost = Cost.default) () =
     code = Hashtbl.create 512; blocks = Hashtbl.create 256;
     bcache = Array.make bcache_slots dummy_block;
     sb_hits = 0; sb_misses = 0; sb_flushes = 0; sb_chained = 0;
+    sb_ic_hits = 0; sb_ic_misses = 0;
     sb_traces = 0; sb_side_exits = 0;
     fu_cmpjcc = 0; fu_mov_alu = 0; fu_lea_mem = 0; fu_spill = 0;
     fu_other = 0;
@@ -544,6 +561,8 @@ type cache_stats = {
   block_misses : int;    (* superblock built (pre-decoded) *)
   block_flushes : int;   (* flush_code invocations *)
   block_chained : int;   (* transitions resolved by a chain link *)
+  ic_hits : int;         (* indirect transitions predicted by an inline cache *)
+  ic_misses : int;       (* indirect transitions that missed the inline cache *)
   blocks_live : int;     (* blocks currently cached *)
   traces_built : int;    (* self-loop blocks promoted to traces *)
   trace_side_exits : int;(* early exits taken out of a trace *)
@@ -556,6 +575,7 @@ type cache_stats = {
 let cache_stats cpu =
   { block_hits = cpu.sb_hits; block_misses = cpu.sb_misses;
     block_flushes = cpu.sb_flushes; block_chained = cpu.sb_chained;
+    ic_hits = cpu.sb_ic_hits; ic_misses = cpu.sb_ic_misses;
     blocks_live = Hashtbl.length cpu.blocks;
     traces_built = cpu.sb_traces; trace_side_exits = cpu.sb_side_exits;
     fused_pairs =
@@ -580,6 +600,7 @@ let fold_blocks cpu f acc =
 let reset_cache_stats cpu =
   cpu.sb_hits <- 0; cpu.sb_misses <- 0;
   cpu.sb_flushes <- 0; cpu.sb_chained <- 0;
+  cpu.sb_ic_hits <- 0; cpu.sb_ic_misses <- 0;
   cpu.sb_traces <- 0; cpu.sb_side_exits <- 0;
   cpu.fu_cmpjcc <- 0; cpu.fu_mov_alu <- 0; cpu.fu_lea_mem <- 0;
   cpu.fu_spill <- 0; cpu.fu_other <- 0;
@@ -2065,12 +2086,24 @@ let build_block cpu entry : sblock =
     then KLoopHead
     else KStraight
   in
+  (* an indirect terminator (unpredictable successor) routes this
+     block's transitions through the inline cache instead of the
+     two-slot direct chain links; such a block is structurally never a
+     KLoopHead (that requires a direct Jcc backedge) and therefore
+     never promoted to a trace *)
+  let ind =
+    n >= 1
+    && (match insns.(n - 1) with
+        | JmpInd _ | CallInd _ | Ret -> true
+        | _ -> false)
+  in
   { sb_entry = entry; sb_insns = insns; sb_ops = ops; sb_rips = rips;
     sb_addrs = addrs; sb_costs = costs;
     sb_static = Array.fold_left ( + ) 0 costs;
     sb_slots = slots; sb_slot_rips = slot_rips; sb_slot_costs = slot_costs;
     sb_slot_insns = slot_insns; sb_ranges = ranges; sb_kind = kind;
-    sb_execs = 0; sb_valid = true; sb_link1 = None; sb_link2 = None })
+    sb_execs = 0; sb_valid = true; sb_link1 = None; sb_link2 = None;
+    sb_ind = ind; sb_ic1 = None; sb_ic2 = None })
 
 (* -------- trace extension -------- *)
 
@@ -2120,7 +2153,10 @@ let build_trace cpu (b : sblock) : sblock =
     sb_static = Array.fold_left ( + ) 0 costs;
     sb_slots = slots; sb_slot_rips = slot_rips; sb_slot_costs = slot_costs;
     sb_slot_insns = slot_insns; sb_ranges = b.sb_ranges; sb_kind = KTrace;
-    sb_execs = 0; sb_valid = true; sb_link1 = None; sb_link2 = None }
+    sb_execs = 0; sb_valid = true; sb_link1 = None; sb_link2 = None;
+    (* a trace is only ever built from a KLoopHead, whose terminator is
+       a direct Jcc backedge — it can never carry an indirect IC *)
+    sb_ind = false; sb_ic1 = None; sb_ic2 = None }
 
 let lookup_block cpu addr : sblock =
   let slot = addr land (bcache_slots - 1) in
@@ -2242,31 +2278,83 @@ let exec_block_profiled cpu (b : sblock) =
 let exec_block cpu (b : sblock) =
   if !Prov.enabled then exec_block_profiled cpu b else exec_block_fast cpu b
 
-(* Successor lookup through the block's inline cache: a chain link is
-   used only if it is still valid and its entry matches the live rip,
-   so links survive neither a flush nor a divergent indirect target. *)
+(* Indirect-terminator successor lookup: a 2-way inline cache of
+   predicted targets.  A cached prediction is trusted only after
+   revalidation (entry match + validity bit), so IC entries survive
+   neither a range-granular flush nor a divergent target.  Slot 1 is
+   the MRU prediction; a hit in slot 2 swaps it forward, and a miss
+   with both slots live (a megamorphic site) evicts the LRU entry. *)
+let ic_next cpu (prev : sblock) addr : sblock =
+  (* saboteur drill: a fired arm returns the stale predicted block
+     without revalidating it against the live rip — exactly the silent
+     wrong-code execution the sentinel must catch downstream *)
+  let flipped =
+    if Fault.sabotage "sabotage.isel.indirect" then
+      match prev.sb_ic1 with
+      | Some b when b.sb_entry <> addr && b.sb_valid ->
+        Fault.note_sabotage_landed ();
+        Some b
+      | _ -> None
+    else None
+  in
+  match flipped with
+  | Some b -> b
+  | None -> (
+    match prev.sb_ic1 with
+    | Some b when b.sb_entry = addr && b.sb_valid ->
+      cpu.sb_ic_hits <- cpu.sb_ic_hits + 1;
+      Tel.incr_c c_sb_ic_hit;
+      b
+    | _ -> (
+      match prev.sb_ic2 with
+      | Some b when b.sb_entry = addr && b.sb_valid ->
+        cpu.sb_ic_hits <- cpu.sb_ic_hits + 1;
+        Tel.incr_c c_sb_ic_hit;
+        (* MRU promotion keeps the hot target in the first probe *)
+        prev.sb_ic2 <- prev.sb_ic1;
+        prev.sb_ic1 <- Some b;
+        b
+      | _ ->
+        cpu.sb_ic_misses <- cpu.sb_ic_misses + 1;
+        Tel.incr_c c_sb_ic_miss;
+        let b = lookup_block cpu addr in
+        (match prev.sb_ic1 with
+         | None -> prev.sb_ic1 <- Some b
+         | Some l1 when not l1.sb_valid -> prev.sb_ic1 <- Some b
+         | Some _ ->
+           (* divergent target: demote the current MRU prediction,
+              evicting whatever held the second way *)
+           prev.sb_ic2 <- prev.sb_ic1;
+           prev.sb_ic1 <- Some b);
+        b))
+
+(* Successor lookup through the block's chain links: a link is used
+   only if it is still valid and its entry matches the live rip, so
+   links survive neither a flush nor a retargeted branch.  Blocks
+   ending in an indirect branch dispatch through {!ic_next} instead. *)
 let next_block cpu (prev : sblock) addr : sblock =
-  match prev.sb_link1 with
-  | Some b when b.sb_entry = addr && b.sb_valid ->
-    cpu.sb_chained <- cpu.sb_chained + 1;
-    Tel.incr_c c_sb_chain;
-    b
-  | _ ->
-    (match prev.sb_link2 with
-     | Some b when b.sb_entry = addr && b.sb_valid ->
-       cpu.sb_chained <- cpu.sb_chained + 1;
-       Tel.incr_c c_sb_chain;
-       b
-     | _ ->
-       let b = lookup_block cpu addr in
-       (* direct branches have at most two successors (taken /
-          fall-through), so two slots capture them; indirect
-          transitions degrade to a monomorphic inline cache *)
-       (match prev.sb_link1 with
-        | None -> prev.sb_link1 <- Some b
-        | Some l1 when not l1.sb_valid -> prev.sb_link1 <- Some b
-        | Some _ -> prev.sb_link2 <- Some b);
-       b)
+  if prev.sb_ind then ic_next cpu prev addr
+  else
+    match prev.sb_link1 with
+    | Some b when b.sb_entry = addr && b.sb_valid ->
+      cpu.sb_chained <- cpu.sb_chained + 1;
+      Tel.incr_c c_sb_chain;
+      b
+    | _ ->
+      (match prev.sb_link2 with
+       | Some b when b.sb_entry = addr && b.sb_valid ->
+         cpu.sb_chained <- cpu.sb_chained + 1;
+         Tel.incr_c c_sb_chain;
+         b
+       | _ ->
+         let b = lookup_block cpu addr in
+         (* direct branches have at most two successors (taken /
+            fall-through), so two slots capture them *)
+         (match prev.sb_link1 with
+          | None -> prev.sb_link1 <- Some b
+          | Some l1 when not l1.sb_valid -> prev.sb_link1 <- Some b
+          | Some _ -> prev.sb_link2 <- Some b);
+         b)
 
 (* watchdog: terminate runaway emulation with a typed [Emulate] error
    carrying the rip it was stopped at *)

@@ -360,7 +360,12 @@ let decode_one st =
     in
     let count = if op <= 0xc1 then ShImm (u8 st) else ShCl in
     Shift (sop, w, gpr_operand st w rm, count)
+  | 0xc2 ->
+    let imm = u16 st in
+    err "ret imm16 (0xc2, imm=%d) unsupported" imm
   | 0xc3 -> Ret
+  | 0xca -> err "far return with imm16 (0xca) unsupported"
+  | 0xcb -> err "far return (0xcb) unsupported"
   | 0xc6 | 0xc7 ->
     let w = if op = 0xc6 then W8 else opwidth st in
     let reg, rm = decode_modrm st in
@@ -403,9 +408,11 @@ let decode_one st =
      | 0 -> Unop (Inc, w, gpr_operand st w rm)
      | 1 -> Unop (Dec, w, gpr_operand st w rm)
      | 2 -> CallInd o64
+     | 3 -> err "far call m16:64 (FF /3) unsupported"
      | 4 -> JmpInd o64
+     | 5 -> err "far jmp m16:64 (FF /5) unsupported"
      | 6 -> Push o64
-     | d -> err "unsupported FF group digit %d" d)
+     | _ -> err "invalid FF group digit 7")
   | 0x0f -> decode_0f st
   | b -> err "unsupported opcode 0x%02x" b
 

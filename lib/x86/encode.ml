@@ -460,6 +460,7 @@ let assemble ~base (items : item list) :
   Fault.point ~addr:base "encode.assemble";
   let labels = Hashtbl.create 16 in
   let addr = ref base in
+  (* placed payloads: instructions, data quads, label-address movabs *)
   let placed =
     List.filter_map
       (fun it ->
@@ -468,7 +469,15 @@ let assemble ~base (items : item list) :
         | I i ->
           let a = !addr in
           addr := a + length i;
-          Some (a, i))
+          Some (a, `I i)
+        | Q t ->
+          let a = !addr in
+          addr := a + 8;
+          Some (a, `Q t)
+        | MovLbl (r, l) ->
+          let a = !addr in
+          addr := a + length (Movabs (r, 0L));
+          Some (a, `M (r, l)))
       items
   in
   let resolve t =
@@ -479,20 +488,43 @@ let assemble ~base (items : item list) :
       | Some a -> Abs a
       | None -> err "undefined label .L%d" l)
   in
+  let label_addr l =
+    match resolve (Lbl l) with Abs a -> a | Lbl _ -> assert false
+  in
   let resolved =
     List.map
-      (fun (a, i) ->
-        let i =
-          match i with
-          | Call t -> Call (resolve t)
-          | Jmp t -> Jmp (resolve t)
-          | Jcc (c, t) -> Jcc (c, resolve t)
-          | i -> i
-        in
-        (a, i))
+      (fun (a, p) ->
+        match p with
+        | `I i ->
+          let i =
+            match i with
+            | Call t -> Call (resolve t)
+            | Jmp t -> Jmp (resolve t)
+            | Jcc (c, t) -> Jcc (c, resolve t)
+            | i -> i
+          in
+          (a, `I i)
+        | `Q t -> (
+          match resolve t with Abs x -> (a, `Q (Abs x)) | t -> (a, `Q t))
+        | `M (r, l) -> (a, `I (Movabs (r, Int64.of_int (label_addr l)))))
       placed
   in
   let buf = Buffer.create 256 in
-  List.iter (fun (a, i) -> Buffer.add_string buf (encode_at ~addr:a i))
+  List.iter
+    (fun (a, p) ->
+      match p with
+      | `I i -> Buffer.add_string buf (encode_at ~addr:a i)
+      | `Q (Abs x) ->
+        let v = Int64.of_int x in
+        for k = 0 to 7 do
+          buf_byte buf
+            (Int64.to_int (Int64.shift_right_logical v (8 * k)) land 0xff)
+        done
+      | `Q (Lbl _) -> assert false)
     resolved;
-  (Buffer.contents buf, resolved, labels)
+  (* the per-instruction address map excludes raw data quads *)
+  let insns =
+    List.filter_map (function a, `I i -> Some (a, i) | _, `Q _ -> None)
+      resolved
+  in
+  (Buffer.contents buf, insns, labels)

@@ -244,8 +244,12 @@ let map_mem (g : mem_addr -> mem_addr) (i : insn) : insn =
   | MovqXR _ | MovqRX _ | Nop _ | Ud2 | Int3 -> i
 
 (** Assembly item: generated code interleaves labels and instructions;
-    [Encode.assemble] resolves [Lbl] targets against [L] positions. *)
-type item = L of int | I of insn
+    [Encode.assemble] resolves [Lbl] targets against [L] positions.
+    [Q t] lays down the absolute address of [t] as 8 little-endian data
+    bytes (jump-table entries); [MovLbl (r, l)] assembles to a [Movabs]
+    of label [l]'s absolute address — together they let generated code
+    build indirect-dispatch constructs without knowing its own layout. *)
+type item = L of int | I of insn | Q of target | MovLbl of Reg.gpr * int
 
 exception Unsupported of string
 

@@ -87,10 +87,10 @@ let insn (i : insn) =
   | Pop o -> "pop " ^ operand W64 o
   | Leave -> "leave"
   | Call t -> "call " ^ target t
-  | CallInd o -> "call " ^ operand W64 o
+  | CallInd o -> "call *" ^ operand W64 o
   | Ret -> "ret"
   | Jmp t -> "jmp " ^ target t
-  | JmpInd o -> "jmp " ^ operand W64 o
+  | JmpInd o -> "jmp *" ^ operand W64 o
   | Jcc (c, t) -> "j" ^ cc_name c ^ " " ^ target t
   | Cmov (c, w, d, s) ->
     "cmov" ^ cc_name c ^ " " ^ two (gpr_name w d) (operand w s)
@@ -122,6 +122,8 @@ let insn (i : insn) =
 let item = function
   | L l -> Printf.sprintf ".L%d:" l
   | I i -> "  " ^ insn i
+  | Q t -> "  .quad " ^ target t
+  | MovLbl (r, l) -> Printf.sprintf "  movabs %s, .L%d" (Reg.name64 r) l
 
 let items is = String.concat "\n" (List.map item is)
 

@@ -295,6 +295,110 @@ let test_cmov_specialization () =
   check ci64 "max(3,5)" 5L n;
   check cint "constant function" 2 (insn_count img fn')
 
+(* ---------- indirect control flow devirtualization ---------- *)
+
+module Prov = Obrew_provenance.Provenance
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* jump-table dispatch with the index fixed and the table declared
+   fixed memory: the known-value lattice carries through the masked
+   index and the table load, so the indirect jump rewrites into the
+   selected arm directly — no indirect branch survives, and the
+   devirtualization leaves a provenance remark.  The rewritten kernel
+   is then pushed through the full lift+O3+JIT chain and must stay
+   bit-identical to the original under the emulator. *)
+let test_jump_table_devirtualized () =
+  let img = Image.create () in
+  let arm v = Image.install_code img [ I (Movabs (Reg.RAX, v)); I Ret ] in
+  let arms = [| arm 111L; arm 222L; arm 333L; arm 444L |] in
+  let tbl = Image.alloc_i64_array img (Array.map Int64.of_int arms) in
+  let fn =
+    Image.install_code img
+      [ I (Alu (And, W64, OReg Reg.RDI, OImm 3L));
+        I (Movabs (Reg.RAX, Int64.of_int tbl));
+        I (JmpInd (OMem (mk_mem ~base:Reg.RAX ~index:(Reg.RDI, S8) ()))) ]
+  in
+  Prov.reset ();
+  Prov.enable ();
+  Fun.protect ~finally:(fun () -> Prov.disable (); Prov.reset ())
+  @@ fun () ->
+  let r = Api.dbrew_new img fn in
+  Api.dbrew_set_par r 0 2L;
+  Api.dbrew_set_mem r tbl (tbl + (8 * Array.length arms));
+  let fn' = Api.dbrew_rewrite r in
+  (match r.Api.last_error with
+   | Some e ->
+     Alcotest.failf "rewrite failed: %s" (Obrew_fault.Err.to_string e)
+   | None -> ());
+  let o, _ = Image.call img ~fn ~args:[ 2L ] in
+  let n, _ = Image.call img ~fn:fn' ~args:[ 999L (* ignored *) ] in
+  check ci64 "dispatches like the original" o n;
+  check ci64 "arm 2 selected" 333L n;
+  List.iter
+    (fun (_, i) ->
+      match i with
+      | JmpInd _ | CallInd _ ->
+        Alcotest.failf "indirect branch survived: %s" (Pp.insn i)
+      | _ -> ())
+    (Image.disassemble_fn img fn');
+  let seen = ref false in
+  Prov.iter_remarks (fun rk ->
+      if
+        rk.Prov.pass = "dbrew"
+        && rk.Prov.action = Prov.Specialized
+        && contains rk.Prov.detail "devirtualized"
+      then seen := true);
+  Alcotest.(check bool) "devirtualization remark recorded" true !seen;
+  (* full chain: lift the devirtualized code, optimize, JIT, compare *)
+  let sg = { Obrew_ir.Ins.args = [ Obrew_ir.Ins.I64 ]; ret = Some Obrew_ir.Ins.I64 } in
+  let f =
+    Obrew_lifter.Lift.lift
+      ~read:(Mem.read_u8 img.Image.cpu.Cpu.mem)
+      ~entry:fn' ~name:"jt" sg
+  in
+  Obrew_opt.Pipeline.run { Obrew_ir.Ins.funcs = [ f ]; globals = [] };
+  Obrew_ir.Verify.assert_ok f;
+  let jit = Obrew_backend.Jit.install_func img f in
+  let j, _ = Image.call img ~fn:jit ~args:[ 0L ] in
+  check ci64 "jitted chain bit-identical" o j
+
+(* an indirect call through a register the lattice pins behaves like
+   the direct call it names: inlined under the budget, leaving no call
+   of any kind in the emitted code *)
+let test_indirect_call_devirtualized () =
+  let img = Image.create () in
+  let callee = Image.install_code img linear_code in
+  let fn =
+    Image.install_code img
+      [ I (Movabs (Reg.RCX, Int64.of_int callee));
+        I (CallInd (OReg Reg.RCX));
+        I (Alu (Add, W64, OReg Reg.RAX, OImm 1L));
+        I Ret ]
+  in
+  let r = Api.dbrew_new img fn in
+  let fn' = Api.dbrew_rewrite r in
+  (match r.Api.last_error with
+   | Some e ->
+     Alcotest.failf "rewrite failed: %s" (Obrew_fault.Err.to_string e)
+   | None -> ());
+  List.iter
+    (fun (a, b) ->
+      let o, _ = Image.call img ~fn ~args:[ a; b ] in
+      let n, _ = Image.call img ~fn:fn' ~args:[ a; b ] in
+      check ci64 (Printf.sprintf "g(%Ld,%Ld)" a b) o n)
+    [ (1L, 2L); (-5L, 7L); (0L, 0L) ];
+  List.iter
+    (fun (_, i) ->
+      match i with
+      | Call _ | CallInd _ | JmpInd _ ->
+        Alcotest.failf "call survived devirtualization: %s" (Pp.insn i)
+      | _ -> ())
+    (Image.disassemble_fn img fn')
+
 (* ---------- specialization memo cache ---------- *)
 
 let test_rewrite_memo () =
@@ -490,7 +594,11 @@ let run_suites () =
          Alcotest.test_case "sse + addr folding" `Quick
            test_sse_passthrough_with_folding;
          Alcotest.test_case "error fallback" `Quick test_error_fallback;
-         Alcotest.test_case "cmov" `Quick test_cmov_specialization ]);
+         Alcotest.test_case "cmov" `Quick test_cmov_specialization;
+         Alcotest.test_case "jump table devirtualized" `Quick
+           test_jump_table_devirtualized;
+         Alcotest.test_case "indirect call devirtualized" `Quick
+           test_indirect_call_devirtualized ]);
       ("memo",
        [ Alcotest.test_case "rewrite memo cache" `Quick test_rewrite_memo;
          Alcotest.test_case "transform memo cache" `Quick

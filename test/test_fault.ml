@@ -206,10 +206,20 @@ let sentinel_policy =
 (* The property: transform_safe is total and correct under injection   *)
 (* ------------------------------------------------------------------ *)
 
+(* points safe to arm against the shared environment: engine saboteurs
+   corrupt the dispatch machinery itself, so a corrupted kernel can
+   validate clean (the reference probes run through the same poisoned
+   engine) and then wreck shared guest state — they get a dedicated
+   fresh-image drill instead *)
+let shared_env_points =
+  List.filter
+    (fun (p, _) -> not (List.mem_assoc p Fault.engine_saboteur_points))
+    Fault.all_points
+
 let gen_case =
   QCheck2.Gen.(
     let gen_arm =
-      let* p = oneofl Fault.all_point_names in
+      let* p = oneofl (List.map fst shared_env_points) in
       let* skip = int_bound 2 in
       let* fires = oneofl [ -1; 1; 2 ] in
       return (p, skip, fires)
@@ -276,8 +286,10 @@ let prop_safe =
           want;
         true)
 
-(* every single point — typed and saboteur — injected forever, must
-   still end in a correct serve, and the arm must actually land *)
+(* every shared-env point — typed and artifact-saboteur — injected
+   forever, must still end in a correct serve, and the arm must
+   actually land (engine saboteurs are drilled separately, on a
+   throwaway image) *)
 let test_every_point_lands () =
   let env = Lazy.force shared in
   List.iter
@@ -331,7 +343,49 @@ let test_every_point_lands () =
             Alcotest.failf "point %s via %s: cell %d differs" p
               (Modes.transform_name sv.Sen.sv_mode) i)
         want)
-    Fault.all_points
+    shared_env_points
+
+(* [sabotage.isel.indirect] corrupts the execution engine itself — a
+   stale inline-cache prediction trusted without revalidation on an
+   indirect branch — rather than one translated artifact.  Armed
+   against the shared environment it would poison the very reference
+   engine the other checks trust, so it is drilled here on a throwaway
+   image: warm the IC on one jump-table arm, dispatch to another arm
+   under the plan, and prove (a) the flip lands and executes the wrong
+   arm, (b) the single-step reference engine is immune, (c) clearing
+   the plan heals the IC by plain revalidation, no flush needed. *)
+let test_engine_saboteur_drill () =
+  let open Obrew_x86 in
+  let prog =
+    Insn.
+      [ I (Alu (And, W64, OReg Reg.RDI, OImm 3L));
+        MovLbl (Reg.RAX, 9);
+        I (JmpInd (OMem (mk_mem ~base:Reg.RAX ~index:(Reg.RDI, S8) ())));
+        L 0; I (Movabs (Reg.RAX, 111L)); I Ret;
+        L 1; I (Movabs (Reg.RAX, 222L)); I Ret;
+        L 2; I (Movabs (Reg.RAX, 333L)); I Ret;
+        L 3; I (Movabs (Reg.RAX, 444L)); I Ret;
+        L 9; Q (Lbl 0); Q (Lbl 1); Q (Lbl 2); Q (Lbl 3) ]
+  in
+  let img = Image.create () in
+  let fn = Image.install_code img prog in
+  let dispatch ?engine idx =
+    fst (Image.call ?engine ~args:[ Int64.of_int idx ] img ~fn)
+  in
+  (* sanity, and warms the dispatcher's inline cache on arm 0 *)
+  Alcotest.(check int64) "warm arm 0" 111L (dispatch 0);
+  Fault.install [ Fault.arm "sabotage.isel.indirect" ];
+  let corrupt = dispatch 1 in
+  let landed = Fault.sabotage_landed () in
+  note_coverage ();
+  (* the reference engine has no inline caches: immune even armed *)
+  let ref_r = dispatch ~engine:Cpu.SingleStep 1 in
+  Fault.clear ();
+  if landed = 0 then
+    Alcotest.fail "sabotage.isel.indirect armed but the flip never landed";
+  Alcotest.(check int64) "stale prediction executed arm 0" 111L corrupt;
+  Alcotest.(check int64) "single-step reference immune under arm" 222L ref_r;
+  Alcotest.(check int64) "revalidation heals after clear" 222L (dispatch 1)
 
 (* runs after the campaign: every registered injection point —
    including the saboteur points — must have been exercised *)
@@ -358,6 +412,8 @@ let () =
       ( "harness",
         [ Alcotest.test_case "every point lands" `Quick
             test_every_point_lands;
+          Alcotest.test_case "engine saboteur drill" `Quick
+            test_engine_saboteur_drill;
           QCheck_alcotest.to_alcotest prop_safe;
           Alcotest.test_case "campaign exercises every point" `Quick
             test_campaign_coverage ] ) ]

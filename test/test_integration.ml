@@ -72,17 +72,31 @@ let expect_lift_error items sg msg_part () =
        has 0)
   | _ -> Alcotest.fail "expected a lift error"
 
-let test_lift_rejects_indirect_jump =
-  expect_lift_error
-    [ I (JmpInd (OReg Reg.RAX)); I Ret ]
-    { Ins.args = [ I64 ]; ret = Some I64 }
-    "indirect"
+(* an indirect jump with no derivable target set no longer rejects the
+   whole region at lift time: the branch lowers to a guarded side-exit
+   that raises a typed error only if actually reached at runtime *)
+let test_lift_side_exits_indirect_jump () =
+  let img = Image.create () in
+  let fn = Image.install_code img [ I (JmpInd (OReg Reg.RAX)); I Ret ] in
+  let f =
+    Lift.lift ~read:(Mem.read_u8 img.Image.cpu.Cpu.mem) ~entry:fn ~name:"f"
+      { Ins.args = [ I64 ]; ret = Some I64 }
+  in
+  let m = { Ins.funcs = [ f ]; globals = [] } in
+  let ctx = Interp.create ~mem:img.Image.cpu.Cpu.mem m in
+  match Interp.run ctx "f" [ Interp.I 1L ] with
+  | _ -> Alcotest.fail "unknown-target indirect jump executed?"
+  | exception Interp.Interp_error _ -> ()
 
+(* a call without a declared signature is now treated as in-region
+   control flow; aimed at unmapped memory the "callee" is a run of
+   zero bytes that blows the discovery budget — a typed lift error,
+   not executed garbage *)
 let test_lift_rejects_unknown_callee =
   expect_lift_error
-    [ I (Call (Abs 0x400000)); I Ret ]
+    [ I (Call (Abs 0x500000)); I Ret ]
     { Ins.args = [ I64 ]; ret = Some I64 }
-    "signature"
+    "budget"
 
 let test_lift_rejects_many_args () =
   let img = Image.create () in
@@ -585,8 +599,8 @@ let () =
                        use_gep = false }
               "none") ]);
       ("lifter errors",
-       [ Alcotest.test_case "indirect jump" `Quick
-           test_lift_rejects_indirect_jump;
+       [ Alcotest.test_case "indirect jump side-exit" `Quick
+           test_lift_side_exits_indirect_jump;
          Alcotest.test_case "unknown callee" `Quick
            test_lift_rejects_unknown_callee;
          Alcotest.test_case "too many args" `Quick

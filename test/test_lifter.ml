@@ -291,6 +291,61 @@ let test_calls () =
   check ci64 "call" native lifted;
   check ci64 "value" 43L lifted
 
+(* ---- indirect control flow: bounded target-set lifting ---- *)
+
+(* A masked jump-table dispatch: the lifter must enumerate the table,
+   lift every arm, and guard the loaded target against each entry. *)
+let jump_table_code =
+  [ I (Alu (And, W64, OReg Reg.RDI, OImm 3L));
+    MovLbl (Reg.RAX, 9);
+    I (JmpInd (OMem (mk_mem ~base:Reg.RAX ~index:(Reg.RDI, S8) ())));
+    L 0; I (Movabs (Reg.RAX, 111L)); I Ret;
+    L 1; I (Movabs (Reg.RAX, 222L)); I Ret;
+    L 2; I (Movabs (Reg.RAX, 333L)); I Ret;
+    L 3; I (Movabs (Reg.RAX, 444L)); I Ret;
+    L 9; Q (Lbl 0); Q (Lbl 1); Q (Lbl 2); Q (Lbl 3) ]
+
+let test_jump_table_differential () =
+  let s = setup ~sg:(i64_sig 1) jump_table_code in
+  diff_check "jtab" s
+    [ [ 0L ]; [ 1L ]; [ 2L ]; [ 3L ]; [ 4L ]; [ 7L ]; [ -1L ] ]
+
+(* A computed goto through a register constant: the Movabs feeding the
+   JmpInd pins the target set to a single entry; the bytes between the
+   jump and its landing pad are dead and must not confuse the lift. *)
+let computed_goto_code =
+  [ MovLbl (Reg.RAX, 1);
+    I (JmpInd (OReg Reg.RAX));
+    I (Movabs (Reg.RAX, 0xBADL)); I Ret; (* dead *)
+    L 1;
+    I (Lea (Reg.RAX, mem_bi ~disp:5 Reg.RDI Reg.RDI S2));
+    I Ret ]
+
+let test_computed_goto_differential () =
+  let s = setup ~sg:(i64_sig 1) computed_goto_code in
+  diff_check "goto" s [ [ 0L ]; [ 1L ]; [ 10L ]; [ -3L ] ]
+
+(* A two-level in-region chain where the outer call is indirect: the
+   CallInd lifts through the same target enumeration as JmpInd, and
+   each Ret dispatches through the return-address guard chain. *)
+let indirect_call_chain_code =
+  [ MovLbl (Reg.RCX, 1);
+    I (CallInd (OReg Reg.RCX));
+    I (Alu (Add, W64, OReg Reg.RAX, OImm 1L));
+    I Ret;
+    L 1;
+    I (Call (Lbl 2));
+    I (Alu (Add, W64, OReg Reg.RAX, OImm 100L));
+    I Ret;
+    L 2;
+    I (Mov (W64, OReg Reg.RAX, OReg Reg.RDI));
+    I (Alu (Add, W64, OReg Reg.RAX, OReg Reg.RDI));
+    I Ret ]
+
+let test_indirect_call_chain_differential () =
+  let s = setup ~sg:(i64_sig 1) indirect_call_chain_code in
+  diff_check "chain" s [ [ 0L ]; [ 21L ]; [ -50L ]; [ 1000L ] ]
+
 (* ---- property-based differential testing ---- *)
 
 let gen_prog =
@@ -429,6 +484,12 @@ let () =
          Alcotest.test_case "imul+lea" `Quick test_imul_lea;
          Alcotest.test_case "division" `Quick test_div;
          Alcotest.test_case "calls" `Quick test_calls ]);
+      ("indirect",
+       [ Alcotest.test_case "jump table" `Quick test_jump_table_differential;
+         Alcotest.test_case "computed goto" `Quick
+           test_computed_goto_differential;
+         Alcotest.test_case "indirect call chain" `Quick
+           test_indirect_call_chain_differential ]);
       ("property",
        [ qt prop_differential; qt prop_differential_optimized ]);
       ("fig5", [ Alcotest.test_case "addsd shape" `Quick test_fig5_addsd_shape ])

@@ -274,6 +274,27 @@ let test_fuzz_smoke_fusion () =
        (O.body_listing f.Driver.f_case));
   check Alcotest.int "every case ran on both tiers" 60 s.Driver.s_agreed
 
+(* indirect-weighted smoke across all five tiers: jump tables, computed
+   gotos and in-region call/ret chains must agree everywhere — the
+   lifter enumerates bounded target sets and guards each one, so no
+   tier is allowed to diverge (a form a tier cannot express skips with
+   a typed error and does not count as agreement) *)
+let test_fuzz_smoke_indirect () =
+  let cfg =
+    { Driver.default_config with
+      seeds = 60; seed = 3; profile = Gen.Indirect }
+  in
+  let s = Driver.run_campaign cfg in
+  check Alcotest.int "all cases accounted for" 60 s.Driver.s_total;
+  (match s.Driver.s_failures with
+   | [] -> ()
+   | f :: _ ->
+     Alcotest.failf "indirect fuzz smoke found a divergence\n%s\nbody:\n%s"
+       (O.divergence_to_string f.Driver.f_div)
+       (O.body_listing f.Driver.f_case));
+  check Alcotest.bool "most cases ran on all tiers" true
+    (s.Driver.s_agreed > s.Driver.s_total / 2)
+
 let () =
   Alcotest.run "oracle"
     [ ("corpus", [ Alcotest.test_case "replay" `Quick test_corpus_replay ]);
@@ -303,4 +324,6 @@ let () =
       ( "fuzz",
         [ Alcotest.test_case "smoke" `Slow test_fuzz_smoke;
           Alcotest.test_case "fusion-weighted smoke" `Slow
-            test_fuzz_smoke_fusion ] ) ]
+            test_fuzz_smoke_fusion;
+          Alcotest.test_case "indirect-weighted smoke" `Slow
+            test_fuzz_smoke_indirect ] ) ]

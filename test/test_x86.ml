@@ -38,12 +38,32 @@ let test_known_bytes () =
       (Lea (Reg.RAX, mem_bi Reg.RSI Reg.RCX S8), "48 8d 04 ce");
       (SseArith (FAdd, Sd, 0, Xr 1), "f2 0f 58 c1");
       (SseLogic (Pxor, 1, Xr 1), "66 0f ef c9");
-      (Setcc (E, OReg Reg.RAX), "0f 94 c0") ]
+      (Setcc (E, OReg Reg.RAX), "0f 94 c0");
+      (JmpInd (OReg Reg.RAX), "ff e0");
+      (CallInd (OReg Reg.RAX), "ff d0");
+      (JmpInd (OMem (mem_base Reg.RAX)), "ff 20") ]
   in
   List.iter
     (fun (i, expect) ->
       check cstr (Pp.insn i) expect (hex (enc i)))
     cases
+
+(* indirect branches print in the AT&T star convention, the one thing
+   the otherwise Intel-syntax printer borrows (Intel's "jmp rax" is
+   too easy to misread as a typo'd direct jump); table entries and
+   label-materializing movabs print as the directives they assemble
+   to *)
+let test_pp_indirect () =
+  check cstr "jmp reg" "jmp *rax" (Pp.insn (JmpInd (OReg Reg.RAX)));
+  check cstr "call reg" "call *r11" (Pp.insn (CallInd (OReg Reg.R11)));
+  check cstr "jmp mem" "jmp *qword ptr [rax + 8 * rdi]"
+    (Pp.insn (JmpInd (OMem (mk_mem ~base:Reg.RAX
+                              ~index:(Reg.RDI, S8) ()))));
+  check cstr "call mem" "call *qword ptr [rcx]"
+    (Pp.insn (CallInd (OMem (mem_base Reg.RCX))));
+  check cstr "table entry" "  .quad .L3" (Pp.item (Q (Lbl 3)));
+  check cstr "label movabs" "  movabs rcx, .L7"
+    (Pp.item (MovLbl (Reg.RCX, 7)))
 
 let test_rel32_encoding () =
   (* jmp to self = e9 fb ff ff ff *)
@@ -157,6 +177,45 @@ let sample_insns =
     Cdq ]
 
 let test_roundtrip_samples () = List.iter roundtrip sample_insns
+
+(* ---------- decoder rejections ---------- *)
+
+(* encodable-but-unsupported forms must fail with a typed [Decode]
+   error naming the form and carrying the faulting address — never a
+   silent misdecode into a neighbouring instruction *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let decode_rejects bytes (marker : string) =
+  let base = 0x400000 in
+  let read p =
+    let off = p - base in
+    if off < 0 || off >= String.length bytes then 0x90
+    else Char.code bytes.[off]
+  in
+  match Decode.decode ~read base with
+  | i, _ ->
+    Alcotest.failf "%s decoded as %s instead of failing" (hex bytes)
+      (Pp.insn i)
+  | exception Obrew_fault.Err.Error e ->
+    check cstr (hex bytes ^ " stage") "decode"
+      (Obrew_fault.Err.stage_name e.Obrew_fault.Err.stage);
+    (match e.Obrew_fault.Err.addr with
+     | Some a -> check cint (hex bytes ^ " address") base a
+     | None -> Alcotest.failf "%s: decode error lost its address" (hex bytes));
+    if not (contains e.Obrew_fault.Err.detail marker) then
+      Alcotest.failf "%s: detail %S does not name the form (%S)" (hex bytes)
+        e.Obrew_fault.Err.detail marker
+
+let test_decode_typed_errors () =
+  decode_rejects "\xc2\x10\x00" "ret imm16";        (* ret 0x10 *)
+  decode_rejects "\xca\x10\x00" "far return";       (* retf 0x10 *)
+  decode_rejects "\xcb" "far return";               (* retf *)
+  decode_rejects "\xff\x1a" "far call";             (* FF /3 *)
+  decode_rejects "\xff\x2a" "far jmp";              (* FF /5 *)
+  decode_rejects "\xff\x3a" "FF group digit 7"      (* FF /7 *)
 
 (* property-based roundtrip over random instruction mixes *)
 let gen_gpr = QCheck2.Gen.(map Reg.of_index (int_range 0 15))
@@ -519,6 +578,96 @@ let test_cross_range_invalidation () =
   let r2, _ = Image.call img ~fn in
   check ci64 "cross-range flush drops the block" 2L r2
 
+(* ---------- indirect-branch inline caches ---------- *)
+
+(* Indirect terminators dispatch through a per-block two-way inline
+   cache instead of the direct chain links.  The cache must return
+   exactly the blocks the slow lookup would — so results never change,
+   only the hit/miss counters move — and a range flush covering a
+   predicted target must defeat the prediction via revalidation, even
+   when the flushed range is disjoint from the dispatching block. *)
+let test_indirect_inline_cache () =
+  let img = fresh () in
+  let cpu = img.Image.cpu in
+  let items =
+    [ I (Alu (And, W64, OReg Reg.RDI, OImm 1L));
+      MovLbl (Reg.RAX, 2);
+      I (JmpInd (OMem (mk_mem ~base:Reg.RAX ~index:(Reg.RDI, S8) ())));
+      L 0; I (Movabs (Reg.RAX, 111L)); I Ret;
+      L 1; I (Movabs (Reg.RAX, 222L)); I Ret;
+      L 2; Q (Lbl 0); Q (Lbl 1) ]
+  in
+  let fn = Image.install_code img items in
+  let call i =
+    fst (Image.call ~engine:Cpu.Superblocks img ~fn
+           ~args:[ Int64.of_int i ])
+  in
+  check ci64 "arm 0" 111L (call 0);
+  let s0 = Cpu.cache_stats cpu in
+  check cbool "first dispatch misses" true (s0.Cpu.ic_misses >= 1);
+  check ci64 "arm 0 again" 111L (call 0);
+  let s1 = Cpu.cache_stats cpu in
+  check cbool "repeat dispatch hits" true (s1.Cpu.ic_hits > s0.Cpu.ic_hits);
+  check ci64 "arm 1" 222L (call 1);
+  check ci64 "arm 1 again" 222L (call 1);
+  check ci64 "arm 0 still cached" 111L (call 0);
+  let s2 = Cpu.cache_stats cpu in
+  check cbool "two-way cache holds both arms" true
+    (s2.Cpu.ic_hits >= s1.Cpu.ic_hits + 2);
+  (* patch arm 1 and flush only its range: the stale prediction must
+     not survive revalidation, and the other slot must be untouched *)
+  let _, _, labels = Encode.assemble ~base:fn items in
+  let arm1 = Hashtbl.find labels 1 in
+  let patch, _, _ =
+    Encode.assemble ~base:arm1 [ I (Movabs (Reg.RAX, 333L)); I Ret ]
+  in
+  Mem.write_bytes cpu.Cpu.mem arm1 patch;
+  Cpu.flush_code ~range:(arm1, arm1 + String.length patch) cpu;
+  check ci64 "flush defeats the prediction" 333L (call 1);
+  check ci64 "other prediction unaffected" 111L (call 0)
+
+(* A loop whose body dispatches through a jump table every iteration:
+   the two engines must agree on everything including the cycle
+   accounting (the inline cache is a host-side shortcut, never a
+   semantic change), the cache must serve nearly every dispatch, and
+   the indirect-terminated block must never be fused away or promoted
+   into a trace (it has no static successor to extend into). *)
+let indirect_loop_items =
+  [ I (Mov (W64, OReg Reg.RCX, OImm 64L));
+    I (Mov (W64, OReg Reg.RSI, OImm 0L));
+    L 0;
+    I (Mov (W64, OReg Reg.RDX, OReg Reg.RCX));
+    I (Alu (And, W64, OReg Reg.RDX, OImm 1L));
+    MovLbl (Reg.RAX, 4);
+    I (JmpInd (OMem (mk_mem ~base:Reg.RAX ~index:(Reg.RDX, S8) ())));
+    L 1; I (Alu (Add, W64, OReg Reg.RSI, OImm 1L)); I (Jmp (Lbl 3));
+    L 2; I (Alu (Add, W64, OReg Reg.RSI, OImm 2L)); I (Jmp (Lbl 3));
+    L 3;
+    I (Unop (Dec, W64, OReg Reg.RCX));
+    I (Jcc (NE, Lbl 0));
+    I (Mov (W64, OReg Reg.RAX, OReg Reg.RSI));
+    I Ret;
+    L 4; Q (Lbl 1); Q (Lbl 2) ]
+
+let test_indirect_loop_differential () =
+  let run engine =
+    let img = fresh () in
+    let cpu = img.Image.cpu in
+    let fn = Image.install_code img indirect_loop_items in
+    let r, _ = Image.call ~engine img ~fn in
+    (r, cpu.Cpu.cycles, cpu.Cpu.icount, Cpu.cache_stats cpu)
+  in
+  let r_sb, cy_sb, ic_sb, stats = run Cpu.Superblocks in
+  let r_ss, cy_ss, ic_ss, _ = run Cpu.SingleStep in
+  check ci64 "alternating arms sum" 96L r_sb;
+  check ci64 "engines agree" r_ss r_sb;
+  check cint "cycles identical" cy_ss cy_sb;
+  check cint "icount identical" ic_ss ic_sb;
+  check cbool "inline cache served the dispatches" true
+    (stats.Cpu.ic_hits >= 50);
+  check cint "indirect block never promoted to a trace" 0
+    stats.Cpu.traces_built
+
 (* ---------- trace promotion ---------- *)
 
 (* A tight self-loop executed past the promotion threshold must be
@@ -633,7 +782,7 @@ let prop_engine_differential =
        ~print:(fun body ->
          String.concat "; "
            (List.map
-              (function I i -> Pp.insn i | L n -> Printf.sprintf "L%d:" n)
+              (function I i -> Pp.insn i | it -> Pp.item it)
               body))
        QCheck.Gen.(
          map
@@ -662,7 +811,7 @@ let prop_engine_differential_traced =
        ~print:(fun body ->
          String.concat "; "
            (List.map
-              (function I i -> Pp.insn i | L n -> Printf.sprintf "L%d:" n)
+              (function I i -> Pp.insn i | it -> Pp.item it)
               body))
        QCheck.Gen.(
          map
@@ -685,10 +834,13 @@ let () =
   Alcotest.run "x86"
     [ ("encode",
        [ Alcotest.test_case "known bytes" `Quick test_known_bytes;
+         Alcotest.test_case "indirect printing" `Quick test_pp_indirect;
          Alcotest.test_case "rel32" `Quick test_rel32_encoding;
          Alcotest.test_case "assemble+labels" `Quick test_assemble_labels ]);
       ("roundtrip",
        [ Alcotest.test_case "samples" `Quick test_roundtrip_samples;
+         Alcotest.test_case "typed rejections" `Quick
+           test_decode_typed_errors;
          qt prop_roundtrip ]);
       ("emulator",
        [ Alcotest.test_case "sum loop" `Quick test_emu_sum_loop;
@@ -707,6 +859,10 @@ let () =
            test_code_cache_invalidation;
          Alcotest.test_case "cross-range invalidation" `Quick
            test_cross_range_invalidation;
+         Alcotest.test_case "indirect inline cache" `Quick
+           test_indirect_inline_cache;
+         Alcotest.test_case "indirect loop differential" `Quick
+           test_indirect_loop_differential;
          Alcotest.test_case "trace promotion" `Quick test_trace_promotion;
          qt prop_engine_differential;
          qt prop_engine_differential_traced ])

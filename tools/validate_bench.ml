@@ -237,6 +237,14 @@ let check_bench path (j : json) =
   if hr < 0.0 || hr > 1.0 then
     fail "%s: superblock_hit_rate %g out of [0,1]" ctx hr;
   check_counts (ctx ^ ".superblocks") (field ctx j "superblocks");
+  (* the indirect-branch inline-cache counters travel as a pair: a file
+     reporting hits without misses (or vice versa) is malformed.  Both
+     absent is fine — baselines predating the counters stay readable. *)
+  let sb = as_obj (ctx ^ ".superblocks") (field ctx j "superblocks") in
+  (match (List.mem_assoc "ic_hits" sb, List.mem_assoc "ic_misses" sb) with
+   | true, false | false, true ->
+     fail "%s: superblocks needs ic_hits and ic_misses together" ctx
+   | _ -> ());
   check_counts (ctx ^ ".transform_memo") (field ctx j "transform_memo");
   check_counts (ctx ^ ".dbrew_memo") (field ctx j "dbrew_memo");
   if sv >= 2 then begin
